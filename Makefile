@@ -1,0 +1,25 @@
+.PHONY: all build test bench bench-full examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- --full --csv bench_results.csv
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/kvstore.exe
+	dune exec examples/counters.exe
+	dune exec examples/raw_heap.exe
+	dune exec examples/crash_torture.exe
+
+clean:
+	dune clean

@@ -1,0 +1,618 @@
+(** Benchmark harness regenerating every panel of the paper's Figures 6 and
+    7, plus bechamel microbenchmarks of the primitive operations.
+
+    Usage:
+      dune exec bench/main.exe                    # quick pass, all panels
+      dune exec bench/main.exe -- --full          # paper-scale sweep
+      dune exec bench/main.exe -- --panels 6a,6c  # subset
+      dune exec bench/main.exe -- --smoke         # seconds-long CI pass
+      dune exec bench/main.exe -- --csv out.csv   # also dump machine-readable rows
+      dune exec bench/main.exe -- --no-micro      # skip bechamel microbenches
+
+    Output per row: measured Mops/s (domains timeshare one core here) and
+    modeled Mops/s (deterministic memory-cost model, ideal scaling) plus the
+    per-operation NVMM event counts that drive the model. *)
+
+module F = Mirror_harness.Figures
+module R = Mirror_harness.Runner
+
+(* -- figure panels ----------------------------------------------------------- *)
+
+let run_figures cfg panel_filter csv_file =
+  let panels =
+    F.all_panels cfg
+    |> List.filter (fun p ->
+           match panel_filter with
+           | [] -> true
+           | ids -> List.mem p.F.id ids)
+  in
+  let csv_out =
+    Option.map
+      (fun f ->
+        let oc = open_out f in
+        output_string oc (F.csv_header ^ "\n");
+        oc)
+      csv_file
+  in
+  let all_rows = ref [] in
+  List.iter
+    (fun p ->
+      Printf.printf "--- panel %s: %s\n%!" p.F.id p.F.descr;
+      let rows = F.run_panel cfg p in
+      all_rows := !all_rows @ rows;
+      List.iter
+        (fun r ->
+          Format.printf "%a@." F.pp_row r;
+          Option.iter
+            (fun oc -> output_string oc (F.row_to_csv r ^ "\n"))
+            csv_out)
+        rows)
+    panels;
+  Option.iter close_out csv_out;
+  !all_rows
+
+(* -- headline-claim summary ---------------------------------------------------- *)
+
+(* ratio of modeled throughput between two algorithms on a panel, averaged
+   over the x axis *)
+let ratio rows panel_id a b =
+  let pts algo =
+    List.filter
+      (fun r -> r.F.panel.F.id = panel_id && r.F.point.R.algo = algo)
+      rows
+  in
+  let pa = pts a and pb = pts b in
+  let pairs =
+    List.filter_map
+      (fun ra ->
+        List.find_opt (fun rb -> rb.F.x = ra.F.x) pb
+        |> Option.map (fun rb ->
+               ra.F.point.R.modeled_mops /. rb.F.point.R.modeled_mops))
+      pa
+  in
+  match pairs with
+  | [] -> None
+  | _ -> Some (List.fold_left ( +. ) 0. pairs /. float_of_int (List.length pairs))
+
+let summarize rows =
+  print_newline ();
+  print_endline "=== headline shape claims (modeled throughput ratios) ===";
+  let claim panel_id a b expectation =
+    match ratio rows panel_id a b with
+    | None -> ()
+    | Some r ->
+        Printf.printf "%-4s %-22s / %-22s = %6.2fx   (paper: %s)\n" panel_id
+          (a ^ ":" ^ panel_id) b r expectation
+  in
+  let list_algos a = "list/" ^ a and hash_algos a = "hash/" ^ a in
+  let bst a = "bst/" ^ a and skip a = "skiplist/" ^ a in
+  claim "6a" (list_algos "mirror") (list_algos "nvtraverse") "2.88x-8.7x";
+  claim "6a" (list_algos "nvtraverse") (list_algos "izraelevitz") "5.6x-29x";
+  claim "6c" (list_algos "mirror") (list_algos "izraelevitz") ">>1";
+  claim "6d" (hash_algos "mirror") (hash_algos "nvtraverse") "~1.8x-2.5x";
+  claim "6g" (bst "mirror") (bst "nvtraverse") "1.84x-2.33x";
+  claim "6j" (skip "mirror") (skip "nvtraverse") "2.1x-2.65x";
+  claim "6m" (hash_algos "mirror") (hash_algos "cmap") "2.85x-3.65x";
+  claim "6n" (hash_algos "mirror") (hash_algos "cmap") "1.67x-3.95x";
+  (* "persistent data structures created by Mirror can often execute faster
+     than original (non-persistent) data structures that execute on the
+     slower non-volatile memory" (§1) *)
+  claim "6f" (hash_algos "mirror") (hash_algos "orig-nvmm")
+    ">1 (persistent Mirror vs non-persistent-on-NVMM)";
+  claim "6i" (bst "mirror") (bst "orig-nvmm") ">1";
+  claim "7a" (list_algos "mirror-nvmm") (list_algos "izraelevitz") ">1";
+  claim "7d" (hash_algos "mirror-nvmm") (hash_algos "nvtraverse")
+    "~1 at 20% updates; NVTraverse wins beyond";
+  print_newline ()
+
+(* -- ablations -------------------------------------------------------------------- *)
+
+(* 1. Fence-cost sensitivity: where does NVTraverse overtake Mirror when
+   both replicas live on NVMM (the paper's §6.3 observation)?  Writes cost
+   Mirror two NVMM updates + flush + fence; as the fence gets cheaper the
+   double write dominates and NVTraverse wins earlier. *)
+let ablation_fence_sensitivity () =
+  print_endline
+    "=== ablation: fence cost vs Mirror-NVMM / NVTraverse (hash, cached reads, 50% updates)";
+  (* a short-traversal structure in the cache regime isolates the
+     persistence costs: Mirror-NVMM pays 2 NVMM writes + 1 flush + ~1 fence
+     per update, NVTraverse 1 write + ~2 flushes + 2 fences — the cheaper
+     the fence, the more Mirror's double write hurts (the §6.3 trade-off) *)
+  let base = Mirror_nvm.Latency.default in
+  List.iter
+    (fun fence_ns ->
+      let point algo =
+        let region = Mirror_nvm.Region.create ~track_slots:false () in
+        let (module S) =
+          Option.get (F.make_set ~region Mirror_dstruct.Sets.Hash_ds algo)
+        in
+        let p =
+          Mirror_harness.Runner.run ~seconds:0.1 ~threads:8 ~range:4096
+            ~mix:(Mirror_workload.Workload.of_updates 50)
+            (module S)
+        in
+        (* recompute the model under the swept fence cost *)
+        Mirror_nvm.Latency.set_config
+          { base with Mirror_nvm.Latency.fence_ns; nvm_read_ns = 2 };
+        let ns = Mirror_harness.Runner.modeled_ns p.R.per_op in
+        Mirror_nvm.Latency.set_config base;
+        8. *. 1e3 /. ns
+      in
+      let m = point F.Mirror_nvmm in
+      let n = point F.Nvtraverse in
+      Printf.printf
+        "fence=%4dns  mirror-nvmm=%8.2f  nvtraverse=%8.2f  ratio=%5.2f\n%!"
+        fence_ns m n (m /. n))
+    [ 50; 100; 250; 500; 1000 ];
+  Mirror_nvm.Latency.set_config base;
+  print_newline ()
+
+(* 2. Helping rate: how often does the Figure-4 helping path fire under
+   contention on a single variable?  Driven by the deterministic scheduler
+   — on a one-core box real domains barely overlap, while logical threads
+   preempted at every protocol step contend for real. *)
+let ablation_helping_rate () =
+  print_endline
+    "=== ablation: helping-path rate on one contended patomic (schedsim)";
+  List.iter
+    (fun threads ->
+      let region = Mirror_nvm.Region.create ~track_slots:false () in
+      let v = Mirror_core.Patomic.make region 0 in
+      Mirror_nvm.Stats.reset_all ();
+      let per_thread = 300 in
+      let o =
+        Mirror_schedsim.Sched.run ~seed:11
+          (List.init threads (fun _ () ->
+               for _ = 1 to per_thread do
+                 ignore (Mirror_core.Patomic.fetch_add v 1)
+               done))
+      in
+      assert o.Mirror_schedsim.Sched.completed;
+      let st = Mirror_nvm.Stats.total () in
+      let ops = float_of_int (threads * per_thread) in
+      Printf.printf
+        "threads=%2d  help/op=%6.4f  retry/op=%6.4f  (final=%d, exact)\n%!"
+        threads
+        (float_of_int st.Mirror_nvm.Stats.help /. ops)
+        (float_of_int st.Mirror_nvm.Stats.cas_retry /. ops)
+        (Mirror_core.Patomic.load v))
+    [ 1; 2; 4; 8 ];
+  print_newline ()
+
+(* 3. Replica placement: the DRAM replica's whole contribution, isolated. *)
+let ablation_placement () =
+  print_endline
+    "=== ablation: volatile-replica placement (hash, 8 threads, modeled Mops)";
+  Printf.printf "%-8s %12s %12s %12s\n" "updates%" "mirror-dram" "mirror-nvmm"
+    "orig-nvmm";
+  List.iter
+    (fun updates ->
+      let point algo =
+        let region = Mirror_nvm.Region.create ~track_slots:false () in
+        let (module S) =
+          Option.get (F.make_set ~region Mirror_dstruct.Sets.Hash_ds algo)
+        in
+        (Mirror_harness.Runner.run ~seconds:0.1 ~llc_bytes:(1 lsl 20)
+           ~threads:8 ~range:65536
+           ~mix:(Mirror_workload.Workload.of_updates updates)
+           (module S))
+          .R.modeled_mops
+      in
+      Printf.printf "%-8d %12.2f %12.2f %12.2f\n%!" updates
+        (point F.Mirror) (point F.Mirror_nvmm) (point F.Orig_nvmm))
+    [ 0; 20; 50; 100 ];
+  print_newline ()
+
+(* 4. Crash-policy sweep: under increasing eviction probability, more
+   in-flight operations survive a crash — all without ever violating
+   durable linearizability. *)
+let ablation_crash_policy () =
+  print_endline
+    "=== ablation: crash policy (list/mirror, mid-operation cuts, 20 seeds)";
+  List.iter
+    (fun p ->
+      let policy =
+        if p = 0. then Mirror_nvm.Region.Adversarial
+        else Mirror_nvm.Region.Eviction p
+      in
+      let violations = ref 0 and completed = ref 0 and runs = ref 0 in
+      for seed = 1 to 20 do
+        let region =
+          Mirror_nvm.Region.create ~runtime_evict_prob:(p /. 2.) ~seed ()
+        in
+        let pack =
+          Mirror_dstruct.Sets.make Mirror_dstruct.Sets.List_ds
+            (Mirror_prim.Prim.by_name region "mirror")
+        in
+        let r =
+          Mirror_harness.Durable.torture_schedsim pack ~region
+            ~recover:(fun () -> ())
+            ~policy ~seed ~threads:3 ~ops_per_task:10 ~range:8
+            ~mix:(Mirror_workload.Workload.of_updates 70)
+            ~crash_step:200 ()
+        in
+        incr runs;
+        completed := !completed + r.Mirror_harness.Durable.completed_ops;
+        violations :=
+          !violations + List.length r.Mirror_harness.Durable.violations
+      done;
+      Printf.printf
+        "eviction=%.2f  runs=%d  completed-ops=%d  violations=%d\n%!" p !runs
+        !completed !violations)
+    [ 0.; 0.25; 0.5; 1.0 ];
+  print_newline ()
+
+(* 5. Recovery time vs structure size (§4.3's run-time/recovery trade-off):
+   Mirror re-traces every reachable node; Link-Free scans its allocation
+   registry.  Also contrasts with the key-skew of a Zipfian workload. *)
+let ablation_recovery_time () =
+  print_endline "=== ablation: recovery time vs structure size";
+  List.iter
+    (fun range ->
+      (* Mirror hash: recovery = trace all reachable nodes *)
+      let region = Mirror_nvm.Region.create () in
+      let (module S) =
+        Option.get (F.make_set ~region Mirror_dstruct.Sets.Hash_ds F.Mirror)
+      in
+      let t = S.create ~capacity:range () in
+      List.iter
+        (fun k -> ignore (S.insert t k k))
+        (Mirror_workload.Workload.prefill_keys ~range);
+      Mirror_nvm.Region.crash region;
+      let t0 = Unix.gettimeofday () in
+      S.recover t;
+      let mirror_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      Mirror_nvm.Region.mark_recovered region;
+      (* Link-Free list-per-bucket hash: recovery = registry scan + rebuild *)
+      let region2 = Mirror_nvm.Region.create () in
+      let module C = struct
+        let region = region2
+        let track = true
+      end in
+      let module LF = Mirror_handmade.Link_free.Hash_set (C) in
+      let t2 = LF.create ~capacity:range () in
+      List.iter
+        (fun k -> ignore (LF.insert t2 k k))
+        (Mirror_workload.Workload.prefill_keys ~range);
+      Mirror_nvm.Region.crash region2;
+      let t0 = Unix.gettimeofday () in
+      LF.recover t2;
+      let lf_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      Mirror_nvm.Region.mark_recovered region2;
+      Printf.printf "size=%-7d  mirror-trace=%8.1f ms   link-free-scan=%8.1f ms\n%!"
+        (range / 2) mirror_ms lf_ms)
+    [ 4096; 16384; 65536 ];
+  print_newline ()
+
+(* 6. Key skew: YCSB's Zipfian vs the paper's uniform keys. *)
+let ablation_zipfian () =
+  print_endline
+    "=== ablation: key distribution (hash, 8 threads, 20% updates, modeled Mops)";
+  List.iter
+    (fun (name, dist) ->
+      let region = Mirror_nvm.Region.create ~track_slots:false () in
+      let (module S) =
+        Option.get (F.make_set ~region Mirror_dstruct.Sets.Hash_ds F.Mirror)
+      in
+      let p =
+        Mirror_harness.Runner.run ~seconds:0.1 ~llc_bytes:(1 lsl 20) ~dist
+          ~threads:8 ~range:65536
+          ~mix:(Mirror_workload.Workload.of_updates 20)
+          (module S)
+      in
+      Printf.printf "%-14s modeled=%8.2f  measured=%6.3f  nvmW/op=%5.2f\n%!"
+        name p.R.modeled_mops p.R.mops p.R.per_op.R.nvm_writes)
+    [
+      ("uniform", Mirror_workload.Workload.Uniform);
+      ("zipfian-0.99", Mirror_workload.Workload.Zipfian 0.99);
+    ];
+  print_newline ()
+
+(* 7. Flush-instruction profiles: the paper reports clwb / clflush /
+   clflushopt results identical up to noise for Mirror (a DWCAS right after
+   every flush acts as a fence); check the model agrees across platforms. *)
+let ablation_platforms () =
+  print_endline
+    "=== ablation: flush/fence platform profiles (list/mirror, 8 threads, 20% updates)";
+  List.iter
+    (fun (name, cfg) ->
+      Mirror_nvm.Latency.set_config cfg;
+      let region = Mirror_nvm.Region.create ~track_slots:false () in
+      let (module S) =
+        Option.get (F.make_set ~region Mirror_dstruct.Sets.List_ds F.Mirror)
+      in
+      let p =
+        Mirror_harness.Runner.run ~seconds:0.1 ~threads:8 ~range:256
+          ~mix:(Mirror_workload.Workload.of_updates 20)
+          (module S)
+      in
+      Printf.printf "%-16s modeled=%8.2f Mops\n%!" name p.R.modeled_mops)
+    Mirror_nvm.Latency.profiles;
+  Mirror_nvm.Latency.set_config Mirror_nvm.Latency.default;
+  print_newline ()
+
+(* 8. Persistent transactions serialize writes (§1/§7): the redo-log
+   transactional map against Mirror's lock-free hash under growing write
+   concurrency.  The measured column shows the writer-lock convoy that the
+   per-op cost model cannot. *)
+let ablation_tx_scaling () =
+  print_endline
+    "=== ablation: serialized transactions vs lock-free Mirror (hash, 50% updates)";
+  Printf.printf "%-8s %22s %22s\n" "threads" "txmap meas/model" "mirror meas/model";
+  List.iter
+    (fun threads ->
+      let point pack_of =
+        let region = Mirror_nvm.Region.create ~track_slots:false () in
+        let (module S : Mirror_dstruct.Sets.SET) = pack_of region in
+        Mirror_harness.Runner.run ~seconds:0.15 ~llc_bytes:(1 lsl 20) ~threads
+          ~range:4096
+          ~mix:(Mirror_workload.Workload.of_updates 50)
+          (module S)
+      in
+      let tx =
+        point (fun region ->
+            let module C = struct
+              let region = region
+            end in
+            (module Mirror_handmade.Txmap.Hash_set (C) : Mirror_dstruct.Sets.SET))
+      in
+      let mi =
+        point (fun region ->
+            Option.get (F.make_set ~region Mirror_dstruct.Sets.Hash_ds F.Mirror))
+      in
+      Printf.printf "%-8d %10.3f /%9.2f  %10.3f /%9.2f\n%!" threads
+        tx.R.mops tx.R.modeled_mops mi.R.mops mi.R.modeled_mops)
+    [ 1; 2; 4; 8 ];
+  print_newline ()
+
+let run_ablations () =
+  ablation_fence_sensitivity ();
+  ablation_helping_rate ();
+  ablation_placement ();
+  ablation_crash_policy ();
+  ablation_recovery_time ();
+  ablation_zipfian ();
+  ablation_platforms ();
+  ablation_tx_scaling ()
+
+(* -- extensions: the generality claim, measured ---------------------------------- *)
+
+(* Queue and stack throughput under every strategy: structures outside the
+   paper's evaluation, obtained from the same transformation unchanged. *)
+let run_extensions () =
+  print_endline
+    "=== extensions: queue / stack throughput per strategy (4 domains, modeled Mops)";
+  let bench_one name (run : (module Mirror_prim.Prim.S) -> int) =
+    Printf.printf "%-8s" name;
+    List.iter
+      (fun prim_name ->
+        let region = Mirror_nvm.Region.create ~track_slots:false () in
+        let p = Mirror_prim.Prim.by_name region prim_name in
+        Mirror_nvm.Stats.reset_all ();
+        Mirror_nvm.Latency.set_enabled true;
+        let t0 = Unix.gettimeofday () in
+        let ops = run p in
+        let dt = Unix.gettimeofday () -. t0 in
+        Mirror_nvm.Latency.set_enabled false;
+        let st = Mirror_nvm.Stats.total () in
+        let fops = float_of_int (max 1 ops) in
+        let per_op =
+          {
+            Mirror_harness.Runner.dram_reads =
+              float_of_int st.Mirror_nvm.Stats.dram_read /. fops;
+            nvm_reads = float_of_int st.Mirror_nvm.Stats.nvm_read /. fops;
+            nvm_writes =
+              float_of_int
+                (st.Mirror_nvm.Stats.nvm_write + st.Mirror_nvm.Stats.nvm_cas)
+              /. fops;
+            flushes = float_of_int st.Mirror_nvm.Stats.flush /. fops;
+            fences = float_of_int st.Mirror_nvm.Stats.fence /. fops;
+          }
+        in
+        ignore dt;
+        Printf.printf "  %s=%6.2f" prim_name
+          (1e3 /. Mirror_harness.Runner.modeled_ns per_op))
+      [ "orig-dram"; "izraelevitz"; "nvtraverse"; "mirror"; "mirror-nvmm" ];
+    print_newline ()
+  in
+  let queue_run (module P : Mirror_prim.Prim.S) =
+    let module Q = Mirror_dstruct.Queue.Make (P) in
+    let q = Q.create () in
+    let per_thread = 4000 in
+    let doms =
+      Array.init 4 (fun _ ->
+          Domain.spawn (fun () ->
+              for j = 1 to per_thread do
+                if j land 1 = 0 then Q.enqueue q j else ignore (Q.dequeue q)
+              done))
+    in
+    Array.iter Domain.join doms;
+    4 * per_thread
+  in
+  let stack_run (module P : Mirror_prim.Prim.S) =
+    let module S = Mirror_dstruct.Stack.Make (P) in
+    let s = S.create () in
+    let per_thread = 4000 in
+    let doms =
+      Array.init 4 (fun i ->
+          Domain.spawn (fun () ->
+              for j = 1 to per_thread do
+                if (i + j) land 1 = 0 then S.push s j else ignore (S.pop s)
+              done))
+    in
+    Array.iter Domain.join doms;
+    4 * per_thread
+  in
+  bench_one "queue" queue_run;
+  bench_one "stack" stack_run;
+  (* the hand-made durable MS queue (Friedman et al., PPoPP'18) against the
+     same workload — the paper's related-work comparison point *)
+  let region = Mirror_nvm.Region.create ~track_slots:false () in
+  let dq = Mirror_handmade.Durable_queue.create region in
+  Mirror_nvm.Stats.reset_all ();
+  Mirror_nvm.Latency.set_enabled true;
+  let per_thread = 4000 in
+  let doms =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for j = 1 to per_thread do
+              if j land 1 = 0 then Mirror_handmade.Durable_queue.enqueue dq j
+              else ignore (Mirror_handmade.Durable_queue.dequeue dq)
+            done))
+  in
+  Array.iter Domain.join doms;
+  Mirror_nvm.Latency.set_enabled false;
+  let st = Mirror_nvm.Stats.total () in
+  let fops = float_of_int (4 * per_thread) in
+  let per_op =
+    {
+      Mirror_harness.Runner.dram_reads =
+        float_of_int st.Mirror_nvm.Stats.dram_read /. fops;
+      nvm_reads = float_of_int st.Mirror_nvm.Stats.nvm_read /. fops;
+      nvm_writes =
+        float_of_int (st.Mirror_nvm.Stats.nvm_write + st.Mirror_nvm.Stats.nvm_cas)
+        /. fops;
+      flushes = float_of_int st.Mirror_nvm.Stats.flush /. fops;
+      fences = float_of_int st.Mirror_nvm.Stats.fence /. fops;
+    }
+  in
+  Printf.printf "%-8s  hand-made-durable=%6.2f (Friedman et al. PPoPP'18)\n"
+    "queue" (1e3 /. Mirror_harness.Runner.modeled_ns per_op);
+  print_newline ()
+
+(* -- bechamel microbenchmarks --------------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let region = Mirror_nvm.Region.create ~track_slots:false () in
+  let prim_tests name =
+    let (module P : Mirror_prim.Prim.S) = Mirror_prim.Prim.by_name region name in
+    let v = P.make 0 in
+    let counter = P.make 0 in
+    [
+      Test.make ~name:(name ^ "/load") (Staged.stage (fun () -> P.load v));
+      Test.make ~name:(name ^ "/load-traversal")
+        (Staged.stage (fun () -> P.load_t v));
+      Test.make ~name:(name ^ "/store") (Staged.stage (fun () -> P.store v 1));
+      Test.make ~name:(name ^ "/fetch_add")
+        (Staged.stage (fun () -> ignore (P.fetch_add counter 1)));
+    ]
+  in
+  let ebr = Mirror_core.Ebr.create () in
+  let ebr_tests =
+    [
+      Bechamel.Test.make ~name:"ebr/enter-exit"
+        (Bechamel.Staged.stage (fun () ->
+             Mirror_core.Ebr.enter ebr;
+             Mirror_core.Ebr.exit ebr));
+    ]
+  in
+  Test.make_grouped ~name:"prims"
+    (List.concat_map prim_tests
+       [ "orig-dram"; "orig-nvmm"; "izraelevitz"; "nvtraverse"; "mirror"; "mirror-nvmm" ]
+    @ ebr_tests)
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "=== microbenchmarks (per-op wall time, latency model on) ===";
+  Mirror_nvm.Latency.set_enabled true;
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let ols_result = Hashtbl.find results name in
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Printf.printf "%-40s %10.1f ns/op\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort compare names);
+  Mirror_nvm.Latency.set_enabled false;
+  print_newline ()
+
+(* -- command line ----------------------------------------------------------------- *)
+
+let main full smoke panels csv no_micro no_ablation seconds =
+  let cfg =
+    if full then F.full
+    else if smoke then
+      {
+        F.quick with
+        F.seconds = 0.05;
+        threads_axis = [ 1; 2 ];
+        list_sizes = [ 256 ];
+        big_sizes = [ 4096 ];
+        updates_axis = [ 0; 50 ];
+        big_range = 4096;
+        huge_range = 8192;
+      }
+    else F.quick
+  in
+  let cfg = match seconds with Some s -> { cfg with F.seconds = s } | None -> cfg in
+  let panel_filter =
+    List.concat_map (String.split_on_char ',') panels
+    |> List.filter (fun s -> s <> "")
+  in
+  Printf.printf
+    "mirror-bench: %s mode, %.2fs/point, latency model: read=%dns write=%dns \
+     flush=%dns fence=%dns\n%!"
+    (if full then "full" else if smoke then "smoke" else "quick")
+    cfg.F.seconds
+    (Mirror_nvm.Latency.get_config ()).Mirror_nvm.Latency.nvm_read_ns
+    (Mirror_nvm.Latency.get_config ()).Mirror_nvm.Latency.nvm_write_ns
+    (Mirror_nvm.Latency.get_config ()).Mirror_nvm.Latency.flush_ns
+    (Mirror_nvm.Latency.get_config ()).Mirror_nvm.Latency.fence_ns;
+  let rows = run_figures cfg panel_filter csv in
+  summarize rows;
+  if not no_ablation then begin
+    run_ablations ();
+    run_extensions ()
+  end;
+  if not no_micro then run_micro ();
+  print_endline "done."
+
+open Cmdliner
+
+let full =
+  Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale sweep (slow).")
+
+let smoke =
+  Arg.(value & flag & info [ "smoke" ] ~doc:"Tiny CI-speed pass.")
+
+let panels =
+  Arg.(
+    value & opt_all string []
+    & info [ "panels"; "p" ] ~docv:"IDS" ~doc:"Comma-separated panel ids (e.g. 6a,7c).")
+
+let csv =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Write machine-readable rows to $(docv).")
+
+let no_micro =
+  Arg.(value & flag & info [ "no-micro" ] ~doc:"Skip bechamel microbenchmarks.")
+
+let no_ablation =
+  Arg.(value & flag & info [ "no-ablation" ] ~doc:"Skip the ablation studies.")
+
+let seconds =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "seconds" ] ~docv:"S" ~doc:"Wall-clock seconds per experiment point.")
+
+let cmd =
+  let doc = "Regenerate the evaluation figures of the Mirror paper (PLDI'21)." in
+  Cmd.v
+    (Cmd.info "mirror-bench" ~doc)
+    Term.(const main $ full $ smoke $ panels $ csv $ no_micro $ no_ablation $ seconds)
+
+let () = exit (Cmd.eval cmd)

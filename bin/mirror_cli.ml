@@ -1,0 +1,119 @@
+(* mirror_cli: poke at the library from the command line.
+
+     dune exec bin/mirror_cli.exe -- list
+     dune exec bin/mirror_cli.exe -- run --ds hash --algo mirror --threads 4
+     dune exec bin/mirror_cli.exe -- torture --ds bst --seeds 20
+*)
+
+open Mirror_dstruct
+module F = Mirror_harness.Figures
+
+let ds_of_string = function
+  | "list" -> Sets.List_ds
+  | "hash" -> Sets.Hash_ds
+  | "bst" -> Sets.Bst_ds
+  | "skiplist" -> Sets.Skiplist_ds
+  | s -> invalid_arg ("unknown structure: " ^ s)
+
+let algo_of_string = function
+  | "orig-dram" -> F.Orig_dram
+  | "orig-nvmm" -> F.Orig_nvmm
+  | "izraelevitz" -> F.Izraelevitz
+  | "nvtraverse" -> F.Nvtraverse
+  | "mirror" -> F.Mirror
+  | "mirror-nvmm" -> F.Mirror_nvmm
+  | "soft" -> F.Soft
+  | "link-free" -> F.Link_free
+  | "cmap" -> F.Cmap
+  | s -> invalid_arg ("unknown algorithm: " ^ s)
+
+(* -- list ---------------------------------------------------------------- *)
+
+let list_cmd () =
+  print_endline "structures: list hash bst skiplist";
+  print_endline
+    "algorithms: orig-dram orig-nvmm izraelevitz nvtraverse mirror \
+     mirror-nvmm soft link-free cmap";
+  print_endline "(soft/link-free: list+hash only; cmap: hash only)";
+  0
+
+(* -- run ------------------------------------------------------------------ *)
+
+let run_cmd ds algo threads range updates seconds llc =
+  let ds = ds_of_string ds and algo = algo_of_string algo in
+  let region = Mirror_nvm.Region.create ~track_slots:false () in
+  match F.make_set ~region ds algo with
+  | None ->
+      prerr_endline "this (structure, algorithm) combination does not exist";
+      1
+  | Some (module S) ->
+      let mix = Mirror_workload.Workload.of_updates updates in
+      let p =
+        Mirror_harness.Runner.run ~seconds ~llc_bytes:llc ~threads ~range ~mix
+          (module S)
+      in
+      Format.printf "%a@." Mirror_harness.Runner.pp_point p;
+      0
+
+(* -- torture --------------------------------------------------------------- *)
+
+let torture_cmd ds seeds updates =
+  let ds = ds_of_string ds in
+  let violations = ref 0 in
+  for seed = 1 to seeds do
+    List.iter
+      (fun crash_step ->
+        let region = Mirror_nvm.Region.create ~seed () in
+        let pack = Sets.make ds (Mirror_prim.Prim.by_name region "mirror") in
+        let r =
+          Mirror_harness.Durable.torture_schedsim pack ~region
+            ~recover:(fun () -> ())
+            ~seed ~threads:3 ~ops_per_task:12 ~range:10
+            ~mix:(Mirror_workload.Workload.of_updates updates)
+            ~crash_step ()
+        in
+        violations := !violations + List.length r.Mirror_harness.Durable.violations;
+        List.iter
+          (fun v ->
+            Format.printf "VIOLATION seed=%d: %a@." seed
+              Mirror_harness.Durable.pp_violation v)
+          r.Mirror_harness.Durable.violations)
+      [ 50; 200; 700 ]
+  done;
+  Printf.printf "%d runs, %d violations\n" (3 * seeds) !violations;
+  if !violations = 0 then 0 else 1
+
+(* -- cmdliner wiring --------------------------------------------------------- *)
+
+open Cmdliner
+
+let ds_arg =
+  Arg.(value & opt string "list" & info [ "ds" ] ~docv:"DS" ~doc:"Structure.")
+
+let list_t = Cmd.v (Cmd.info "list" ~doc:"List structures and algorithms.")
+    Term.(const list_cmd $ const ())
+
+let run_t =
+  let algo = Arg.(value & opt string "mirror" & info [ "algo" ] ~docv:"A" ~doc:"Algorithm.") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T" ~doc:"Domains.") in
+  let range = Arg.(value & opt int 1024 & info [ "range" ] ~docv:"R" ~doc:"Key range.") in
+  let updates = Arg.(value & opt int 20 & info [ "updates" ] ~docv:"U" ~doc:"Update percent.") in
+  let seconds = Arg.(value & opt float 0.5 & info [ "seconds" ] ~docv:"S" ~doc:"Duration.") in
+  let llc = Arg.(value & opt int (1 lsl 20) & info [ "llc" ] ~docv:"B" ~doc:"Modeled LLC bytes (0 = off).") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one throughput experiment.")
+    Term.(const run_cmd $ ds_arg $ algo $ threads $ range $ updates $ seconds $ llc)
+
+let torture_t =
+  let seeds = Arg.(value & opt int 10 & info [ "seeds" ] ~docv:"N" ~doc:"Schedules.") in
+  let updates = Arg.(value & opt int 60 & info [ "updates" ] ~docv:"U" ~doc:"Update percent.") in
+  Cmd.v
+    (Cmd.info "torture" ~doc:"Crash-injection durable-linearizability check.")
+    Term.(const torture_cmd $ ds_arg $ seeds $ updates)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "mirror_cli" ~doc:"Mirror: durable lock-free data structures.")
+    [ list_t; run_t; torture_t ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,23 @@
+(** The Mirror allocator wrapper (paper §4.3.2).
+
+    In the paper the wrapper constructs an object on DRAM, copies it to its
+    translated NVMM address (without the allocator metadata) and flushes
+    it.  In this port the per-field replication and allocation-time persist
+    are performed by {!Patomic.make} (charging one NVMM write + one
+    write-back per mutable field); this module accounts for the allocation
+    event itself and documents the line arithmetic of the paper's
+    cache-aligned nodes. *)
+
+(** Cache lines occupied by an object of [fields] mutable (value, seq)
+    pairs — nodes are 128-byte aligned in the paper's setup. *)
+let lines_per_object ~fields = max 1 (((fields * 16) + 63) / 64)
+
+(** Record the allocation of one object with [fields] mutable fields. *)
+let count ?(fields = 1) () =
+  ignore fields;
+  let s = Mirror_nvm.Stats.get () in
+  s.Mirror_nvm.Stats.alloc <- s.Mirror_nvm.Stats.alloc + 1
+
+(** Allocate a fresh [Patomic] field of a new object (both replicas,
+    persisted at allocation time). *)
+let patomic ?placement region v = Patomic.make ?placement ~persist:true region v

@@ -1,0 +1,14 @@
+(** The Mirror allocator wrapper (paper §4.3.2): allocation-event
+    accounting; the per-field copy-to-NVMM and write-back are charged by
+    {!Patomic.make}. *)
+
+val lines_per_object : fields:int -> int
+(** Cache lines occupied by an object of [fields] 16-byte (value, seq)
+    pairs, 128-byte-aligned as in the paper's setup. *)
+
+val count : ?fields:int -> unit -> unit
+(** Record one object allocation in the statistics. *)
+
+val patomic :
+  ?placement:Patomic.placement -> Mirror_nvm.Region.t -> 'a -> 'a Patomic.t
+(** Allocate a fresh persistent atomic field of a new object. *)

@@ -1,0 +1,29 @@
+(** Epoch-based reclamation in the style of [ssmem] (David et al.,
+    ATC'15), the allocator/GC the paper builds on (§4.3).  OCaml's GC
+    provides memory safety; this reproduces the protocol — per-thread epoch
+    announcements, grace periods, limbo generations — and runs the
+    caller's free action once reclamation is safe. *)
+
+type t
+type handle
+
+val create : ?scan_threshold:int -> unit -> t
+
+val register : t -> handle
+(** Explicit per-thread handle; ordinarily resolved automatically. *)
+
+val enter : t -> unit
+(** Begin an operation (critical section).  Periodically tries to advance
+    the epoch and reclaim. *)
+
+val exit : t -> unit
+
+val retire : t -> (unit -> unit) -> unit
+(** Schedule a free action for after two epoch advances. *)
+
+val drain : t -> unit
+(** Reclaim everything reclaimable now (quiesced; shutdown/tests). *)
+
+val try_advance : t -> unit
+val epoch : t -> int
+val limbo_size : t -> int

@@ -1,0 +1,208 @@
+(** [Patomic]: the Mirror primitive (paper §3–§4, Figures 2, 4, 5).
+
+    A persistent atomic variable keeps two replicas:
+
+    - [repp], the persistent replica, a {!Mirror_nvm.Slot} in the simulated
+      NVMM — the only replica that is ever flushed;
+    - [repv], the volatile replica — the only replica that is ever read.
+
+    Each replica holds a {!cell}: the value together with a monotonically
+    increasing sequence number, updated atomically by a double-word CAS.
+    In this port DWCAS is an [Atomic.t] over an immutable boxed pair with a
+    content-comparing retry loop — the same atomicity as the hardware
+    instruction (both words change together; a failed CAS reports the
+    witnessed value).
+
+    Invariants maintained (proved as Lemmas 5.3–5.5 in the paper, checked by
+    the test suite under deterministic interleavings):
+
+    - [seq repv <= seq repp <= seq repv + 1];
+    - matching sequence numbers imply matching values;
+    - [repv] is only advanced to a cell that has already been flushed and
+      fenced into the persistent media — hence anything a reader observes is
+      durable. *)
+
+open Mirror_nvm
+
+type 'a cell = { v : 'a; seq : int }
+
+type placement =
+  | Dram  (** volatile replica in DRAM: fast reads (the §6.2 configuration) *)
+  | Nvmm  (** volatile replica also in NVMM (the §6.3 configuration) *)
+
+type 'a t = {
+  repv : 'a cell Atomic.t;
+  repp : 'a cell Slot.t;
+  placement : placement;
+  valid : bool Atomic.t;  (** false between a crash and this variable's recovery *)
+  region : Region.t;
+}
+
+(* Double-word CAS on the volatile replica: compare value (physical equality,
+   as a hardware word compare) and sequence number, install atomically. *)
+let dwcas_v (a : 'a cell Atomic.t) ~(expected : 'a cell) ~(desired : 'a cell) =
+  let rec go () =
+    let cur = Atomic.get a in
+    if cur.v == expected.v && cur.seq = expected.seq then
+      if Atomic.compare_and_set a cur desired then true else go ()
+    else false
+  in
+  go ()
+
+let make ?(placement = Dram) ?(persist = true) region v =
+  let c = { v; seq = 0 } in
+  let repp = Slot.make ~persist region c in
+  let t =
+    { repv = Atomic.make c; repp; placement; valid = Atomic.make true; region }
+  in
+  if persist then begin
+    (* allocation-time copy to NVMM + clwb (paper §4.3.2): charged here,
+       the ordering fence is folded into the next protocol fence *)
+    let s = Stats.get () in
+    s.Stats.nvm_write <- s.Stats.nvm_write + 1;
+    s.Stats.flush <- s.Stats.flush + 1
+  end;
+  Region.register_volatile region (fun () -> Atomic.set t.valid false);
+  t
+
+let check t =
+  Region.check_up t.region;
+  if not (Atomic.get t.valid) then
+    invalid_arg
+      "Patomic: access to a variable that was not recovered after a crash \
+       (the tracing routine did not reach it)"
+
+let read_repv t =
+  Hooks.yield ();
+  let s = Stats.get () in
+  (match t.placement with
+  | Dram ->
+      s.Stats.dram_read <- s.Stats.dram_read + 1;
+      Latency.dram_read ()
+  | Nvmm ->
+      s.Stats.nvm_read <- s.Stats.nvm_read + 1;
+      Latency.nvm_read ());
+  Atomic.get t.repv
+
+let write_repv t ~expected ~desired =
+  Hooks.yield ();
+  let s = Stats.get () in
+  (match t.placement with
+  | Dram -> s.Stats.dram_cas <- s.Stats.dram_cas + 1
+  | Nvmm ->
+      s.Stats.nvm_cas <- s.Stats.nvm_cas + 1;
+      Latency.nvm_write ());
+  dwcas_v t.repv ~expected ~desired
+
+(** Figure 5: a load is a single wait-free read of the volatile replica. *)
+let load t =
+  check t;
+  (read_repv t).v
+
+(** Figure 4: [compare_exchange t ~expected ~desired] returns
+    [(success, witness)] where [witness] is the value found when the
+    operation failed ([expected] itself on success). *)
+let rec compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
+  check t;
+  let s = Stats.get () in
+  (* read repp then repv (lines 5–16; the seq/val/seq re-read of the paper is
+     subsumed by the atomic cell read) *)
+  Hooks.yield ();
+  let pc = Slot.load t.repp in
+  let vc = read_repv t in
+  if pc.seq = vc.seq + 1 then begin
+    (* lines 19–26: help an ongoing write: persist repp, then mirror it *)
+    s.Stats.help <- s.Stats.help + 1;
+    Slot.flush t.repp;
+    Region.fence t.region;
+    ignore (write_repv t ~expected:vc ~desired:pc);
+    s.Stats.cas_retry <- s.Stats.cas_retry + 1;
+    compare_exchange t ~expected ~desired
+  end
+  else if pc.seq <> vc.seq then begin
+    (* inconsistent snapshot; retry (line 29) *)
+    s.Stats.cas_retry <- s.Stats.cas_retry + 1;
+    compare_exchange t ~expected ~desired
+  end
+  else if not (pc.v == expected) then (false, pc.v) (* lines 32–35 *)
+  else begin
+    (* lines 38–49: update repp first, persist, then mirror into repv *)
+    let after = { v = desired; seq = pc.seq + 1 } in
+    let ok, wit =
+      Slot.cas_pred t.repp
+        ~expect:(fun c -> c.v == pc.v && c.seq = pc.seq)
+        ~desired:after
+    in
+    Slot.flush t.repp;
+    Region.fence t.region;
+    if ok then begin
+      ignore (write_repv t ~expected:vc ~desired:after);
+      (true, expected)
+    end
+    else if wit.v == expected then begin
+      (* seq changed but the value is still the expected one: a regular CAS
+         must succeed, so restart (line 46) *)
+      s.Stats.cas_retry <- s.Stats.cas_retry + 1;
+      compare_exchange t ~expected ~desired
+    end
+    else begin
+      (* help the winner become visible, then fail (line 47) *)
+      ignore (write_repv t ~expected:vc ~desired:wit);
+      (false, wit.v)
+    end
+  end
+
+let cas t ~expected ~desired = fst (compare_exchange t ~expected ~desired)
+
+(** [store] and [fetch_add] loop over CAS until success (paper §4.1.2). *)
+let rec store t v =
+  let cur = (read_repv t).v in
+  if not (cas t ~expected:cur ~desired:v) then store t v
+
+let rec fetch_add (t : int t) (d : int) : int =
+  let cur = (read_repv t).v in
+  if cas t ~expected:cur ~desired:(cur + d) then cur else fetch_add t d
+
+(* -- recovery ------------------------------------------------------------ *)
+
+(** Restore the volatile replica from the persistent one.  Called by the
+    data structure's tracing routine for every reachable variable, while the
+    region is still down. *)
+let recover t =
+  if Slot.is_lost t.repp then
+    invalid_arg "Patomic.recover: persistent replica was never persisted";
+  let pc = Slot.peek t.repp in
+  Atomic.set t.repv pc;
+  Atomic.set t.valid true
+
+(** Read from the persistent space during recovery (the region is down, the
+    volatile replica may not be restored yet). *)
+let load_recovery t =
+  if Slot.is_lost t.repp then
+    invalid_arg "Patomic.load_recovery: unrecoverable slot";
+  (Slot.peek t.repp).v
+
+(* -- introspection (tests, invariant checking) --------------------------- *)
+
+let seq_v t = (Atomic.get t.repv).seq
+let seq_p t = (Slot.peek t.repp).seq
+let persisted_seq t = Option.map (fun c -> c.seq) (Slot.persisted_value t.repp)
+let persisted_value t = Option.map (fun c -> c.v) (Slot.persisted_value t.repp)
+let peek_v t = (Atomic.get t.repv).v
+let peek_p t = (Slot.peek t.repp).v
+
+(** The durability invariant, safe to sample concurrently: sequence numbers
+    only grow, so reading [repv] first and the persisted seq after gives a
+    sound one-sided check ([seq repv <= persisted seq] must hold at the
+    moment [repv] was read). *)
+let durability_invariant_ok t =
+  let sv = seq_v t in
+  let spers = Option.value ~default:(-1) (persisted_seq t) in
+  sv <= spers
+
+(** Lemma 5.4: [seq repv <= seq repp <= seq repv + 1].  Only meaningful when
+    no operation is in flight (quiesced), e.g. between schedsim steps. *)
+let lemma54_ok t =
+  let sv = seq_v t in
+  let sp = seq_p t in
+  sv <= sp && sp <= sv + 1

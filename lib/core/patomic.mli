@@ -1,0 +1,54 @@
+(** [Patomic]: the Mirror primitive (paper §3–§4, Figures 2, 4, 5).
+
+    A persistent atomic variable with two replicas: [repp] in (simulated)
+    NVMM — the only one flushed — and [repv] — the only one read — placed
+    either in DRAM or at NVMM cost.  Each holds the value with a
+    monotonically increasing sequence number, updated by double-word CAS;
+    writes go persistent-first (flush + fence) and are then mirrored, by
+    the writer or by a helper, so everything a reader can observe is
+    already durable.  Any linearizable lock-free structure written against
+    this interface is durably linearizable (Theorem 5.1). *)
+
+type placement =
+  | Dram  (** volatile replica in DRAM — the §6.2 configuration *)
+  | Nvmm  (** volatile replica at NVMM cost — the §6.3 configuration *)
+
+type 'a t
+
+val make :
+  ?placement:placement -> ?persist:bool -> Mirror_nvm.Region.t -> 'a -> 'a t
+(** Allocate both replicas.  [persist] (default [true]) models the
+    allocator's copy-to-NVMM + write-back (§4.3.2). *)
+
+val load : 'a t -> 'a
+(** Wait-free read of the volatile replica (Figure 5). *)
+
+val compare_exchange : 'a t -> expected:'a -> desired:'a -> bool * 'a
+(** Figure 4.  Value comparison is physical equality (a hardware word
+    compare).  Returns [(success, witness)]. *)
+
+val cas : 'a t -> expected:'a -> desired:'a -> bool
+val store : 'a t -> 'a -> unit
+val fetch_add : int t -> int -> int
+
+val recover : 'a t -> unit
+(** Restore the volatile replica from the persistent one; called by the
+    structure's tracing routine while the region is down. *)
+
+val load_recovery : 'a t -> 'a
+(** Read from persistent space during recovery. *)
+
+(** {1 Introspection (tests, invariant checking)} *)
+
+val seq_v : 'a t -> int
+val seq_p : 'a t -> int
+val persisted_seq : 'a t -> int option
+val persisted_value : 'a t -> 'a option
+val peek_v : 'a t -> 'a
+val peek_p : 'a t -> 'a
+
+val durability_invariant_ok : 'a t -> bool
+(** [seq repv <= persisted seq]; sound to sample concurrently. *)
+
+val lemma54_ok : 'a t -> bool
+(** Lemma 5.4: [seq repv <= seq repp <= seq repv + 1] (quiesced). *)

@@ -1,0 +1,15 @@
+(** Crash and recovery driver (paper §4.3.3): data structures register
+    their tracing routines; {!recover} runs them all and re-opens the
+    region, implementing "recovery runs before any other operation". *)
+
+type t
+
+val create : Mirror_nvm.Region.t -> t
+val region : t -> Mirror_nvm.Region.t
+
+val register_tracer : t -> (unit -> unit) -> unit
+(** Tracers run in registration order at recovery. *)
+
+val crash : ?policy:Mirror_nvm.Region.crash_policy -> t -> unit
+val recover : t -> unit
+val crash_and_recover : ?policy:Mirror_nvm.Region.crash_policy -> t -> unit

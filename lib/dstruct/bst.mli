@@ -1,0 +1,33 @@
+(** Natarajan & Mittal's lock-free external binary search tree
+    (PPoPP 2014), the BST of the paper's evaluation (§6.2.4).  Keys must be
+    [< max_int - 1] (the two largest values are routing sentinels). *)
+
+module Make (P : Mirror_prim.Prim.S) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+
+  val contains : 'v t -> int -> bool
+  (** Linearizes at the seek's read of the edge into the leaf.
+      @raise Invalid_argument on sentinel-range keys. *)
+
+  val find_opt : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val remove : 'v t -> int -> bool
+
+  val to_list : 'v t -> (int * 'v) list
+  (** Quiesced inspection, sorted. *)
+
+  val size : 'v t -> int
+
+  val fold : ('a -> int -> 'v -> 'a) -> 'a -> 'v t -> 'a
+  (** Weakly consistent in-order iteration. *)
+
+  val iter : (int -> 'v -> unit) -> 'v t -> unit
+
+  val range : 'v t -> lo:int -> hi:int -> (int * 'v) list
+  (** Entries with [lo <= key < hi]; weakly consistent, pruned by the
+      routing keys. *)
+
+  val recover : 'v t -> unit
+end

@@ -1,0 +1,20 @@
+(** Lock-free hash table: a Harris linked list per bucket (the paper's
+    construction, §6.1), bucket heads forming the persistent root set. *)
+
+module Make (P : Mirror_prim.Prim.S) : sig
+  type 'v t
+
+  val create : ?buckets:int -> unit -> 'v t
+  (** Bucket count is rounded up to a power of two and fixed. *)
+
+  val hash : 'v t -> int -> int
+  (** Bucket index of a key (exposed for distribution tests). *)
+
+  val contains : 'v t -> int -> bool
+  val find_opt : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val remove : 'v t -> int -> bool
+  val to_list : 'v t -> (int * 'v) list
+  val size : 'v t -> int
+  val recover : 'v t -> unit
+end

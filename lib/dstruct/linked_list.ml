@@ -1,0 +1,216 @@
+(** Harris's lock-free linked list (Harris, DISC 2001), the first data
+    structure the paper evaluates (§6.2.1–6.2.3) and the building block of
+    its hash table.
+
+    The mark bit of the original (stolen from the pointer's low bit) is a
+    boxed [link] record here; CAS compares link boxes by physical identity,
+    which is exactly a word CAS on the pointer — each write creates a fresh
+    box, so there is no ABA.
+
+    The list is a functor over {!Mirror_prim.Prim.S}: the same code yields
+    the original volatile list, the Izraelevitz and NVTraverse
+    transformations, and the Mirror list, depending on the primitive. *)
+
+module Make (P : Mirror_prim.Prim.S) = struct
+  type 'v node = { key : int; value : 'v; next : 'v link P.t }
+
+  and 'v link = { target : 'v node option; marked : bool }
+  (** [marked = true] in [n.next] means [n] is logically deleted. *)
+
+  type 'v t = {
+    head : 'v link P.t;  (** the persistent root of the structure *)
+    ebr : Mirror_core.Ebr.t;
+  }
+
+  let create ?ebr () =
+    let ebr =
+      match ebr with Some e -> e | None -> Mirror_core.Ebr.create ()
+    in
+    { head = P.make { target = None; marked = false }; ebr }
+
+  (* -- traversal ---------------------------------------------------------- *)
+
+  (* [find t k] returns [(pred_field, pred_link, curr_opt)] where [curr_opt]
+     is the first unmarked node with key >= k, [pred_field] the link field of
+     its unmarked predecessor (or the head) and [pred_link] the exact link
+     box read there (the CAS witness).  Marked nodes encountered on the way
+     are physically unlinked. *)
+  let rec find t k =
+    let rec walk (pred_field : 'v link P.t) (pred_link : 'v link) =
+      match pred_link.target with
+      | None -> (pred_field, pred_link, None)
+      | Some curr ->
+          let curr_link = P.load_t curr.next in
+          if curr_link.marked then begin
+            (* curr is logically deleted: unlink it *)
+            let repl = { target = curr_link.target; marked = false } in
+            if P.cas pred_field ~expected:pred_link ~desired:repl then begin
+              Mirror_core.Ebr.retire t.ebr (fun () -> ());
+              walk pred_field repl
+            end
+            else find t k (* pred changed under us: restart *)
+          end
+          else if curr.key >= k then (pred_field, pred_link, Some curr)
+          else walk curr.next curr_link
+    in
+    walk t.head (P.load_t t.head)
+
+  (* -- operations --------------------------------------------------------- *)
+
+  let contains t k =
+    Mirror_core.Ebr.enter t.ebr;
+    (* wait-free traversal: skip marked nodes without unlinking *)
+    let rec walk (l : 'v link) =
+      match l.target with
+      | None -> false
+      | Some curr ->
+          if curr.key < k then walk (P.load_t curr.next)
+          else if curr.key > k then false
+          else
+            (* destination read: decides the result, persisted by the
+               strategies that must *)
+            let cl = P.load curr.next in
+            not cl.marked
+    in
+    let r = walk (P.load_t t.head) in
+    Mirror_core.Ebr.exit t.ebr;
+    r
+
+  let find_opt t k =
+    Mirror_core.Ebr.enter t.ebr;
+    let rec walk (l : 'v link) =
+      match l.target with
+      | None -> None
+      | Some curr ->
+          if curr.key < k then walk (P.load_t curr.next)
+          else if curr.key > k then None
+          else
+            let cl = P.load curr.next in
+            if cl.marked then None else Some curr.value
+    in
+    let r = walk (P.load_t t.head) in
+    Mirror_core.Ebr.exit t.ebr;
+    r
+
+  let insert t k v =
+    Mirror_core.Ebr.enter t.ebr;
+    let rec attempt () =
+      let pred_field, pred_link, curr = find t k in
+      match curr with
+      | Some c when c.key = k ->
+          (* key present: the deciding read is the destination *)
+          ignore (P.load c.next);
+          false
+      | _ ->
+          Mirror_core.Alloc.count ~fields:1 ();
+          let node =
+            { key = k; value = v; next = P.make { target = curr; marked = false } }
+          in
+          (* destination write: persist the surrounding field first
+             (NVTraverse's flush-the-destination; no-op elsewhere) *)
+          P.persist pred_field;
+          if
+            P.cas pred_field ~expected:pred_link
+              ~desired:{ target = Some node; marked = false }
+          then true
+          else attempt ()
+    in
+    let r = attempt () in
+    Mirror_core.Ebr.exit t.ebr;
+    r
+
+  let remove t k =
+    Mirror_core.Ebr.enter t.ebr;
+    let rec attempt () =
+      let pred_field, pred_link, curr = find t k in
+      match curr with
+      | None -> false
+      | Some c when c.key <> k -> false
+      | Some c ->
+          let c_link = P.load c.next in
+          if c_link.marked then
+            (* someone else is deleting it; restart to settle the race *)
+            attempt ()
+          else begin
+            P.persist pred_field;
+            P.persist c.next;
+            if
+              P.cas c.next ~expected:c_link
+                ~desired:{ target = c_link.target; marked = true }
+            then begin
+              (* logical deletion done (linearization); physical unlink is
+                 best-effort, find will complete it otherwise *)
+              (if
+                 P.cas pred_field ~expected:pred_link
+                   ~desired:{ target = c_link.target; marked = false }
+               then Mirror_core.Ebr.retire t.ebr (fun () -> ()));
+              true
+            end
+            else attempt ()
+          end
+    in
+    let r = attempt () in
+    Mirror_core.Ebr.exit t.ebr;
+    r
+
+  (* -- inspection (tests; not concurrent-safe) ----------------------------- *)
+
+  let to_list t =
+    let rec go acc (l : 'v link) =
+      match l.target with
+      | None -> List.rev acc
+      | Some n ->
+          let nl = P.load_t n.next in
+          let acc = if nl.marked then acc else (n.key, n.value) :: acc in
+          go acc nl
+    in
+    go [] (P.load_t t.head)
+
+  let size t = List.length (to_list t)
+
+  (* -- weakly consistent iteration (live traversal; like a Java CHM
+     iterator, it sees some elements of every state it overlaps) ---------- *)
+
+  let fold f init t =
+    let rec go acc (l : 'v link) =
+      match l.target with
+      | None -> acc
+      | Some n ->
+          let nl = P.load_t n.next in
+          let acc = if nl.marked then acc else f acc n.key n.value in
+          go acc nl
+    in
+    go init (P.load_t t.head)
+
+  let iter f t = fold (fun () k v -> f k v) () t
+
+  (** Entries with [lo <= key < hi], ascending. *)
+  let range t ~lo ~hi =
+    let rec go acc (l : 'v link) =
+      match l.target with
+      | None -> List.rev acc
+      | Some n ->
+          if n.key >= hi then List.rev acc
+          else
+            let nl = P.load_t n.next in
+            let acc =
+              if n.key >= lo && not nl.marked then (n.key, n.value) :: acc
+              else acc
+            in
+            go acc nl
+    in
+    go [] (P.load_t t.head)
+
+  (* -- recovery (the paper's tracing routine, §4.3.3) ---------------------- *)
+
+  let recover t =
+    P.recover t.head;
+    let rec go (l : 'v link) =
+      match l.target with
+      | Some m ->
+          P.recover m.next;
+          go (P.load_recovery m.next)
+      | None -> ()
+    in
+    go (P.load_recovery t.head)
+end

@@ -1,0 +1,41 @@
+(** Harris's lock-free linked list (DISC 2001) as a functor over the
+    persistence primitive: instantiating with {!Mirror_prim.Prim.Mirror_dram}
+    yields the paper's durable list, with the other strategies its
+    competitors — the data-structure code is identical, which is the
+    paper's headline property. *)
+
+module Make (P : Mirror_prim.Prim.S) : sig
+  type 'v t
+
+  val create : ?ebr:Mirror_core.Ebr.t -> unit -> 'v t
+  (** [ebr] shares a reclamation domain across lists (the hash table passes
+      one per table). *)
+
+  val contains : 'v t -> int -> bool
+  (** Wait-free: traverses without unlinking. *)
+
+  val find_opt : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val remove : 'v t -> int -> bool
+
+  val to_list : 'v t -> (int * 'v) list
+  (** Quiesced inspection, sorted by key, skipping logically deleted
+      nodes. *)
+
+  val size : 'v t -> int
+
+
+  val fold : ('a -> int -> 'v -> 'a) -> 'a -> 'v t -> 'a
+  (** Weakly consistent live iteration (like a Java CHM iterator): sees
+      every element present for the whole traversal, may or may not see
+      concurrent updates. *)
+
+  val iter : (int -> 'v -> unit) -> 'v t -> unit
+
+  val range : 'v t -> lo:int -> hi:int -> (int * 'v) list
+  (** Entries with [lo <= key < hi], ascending; weakly consistent. *)
+
+  val recover : 'v t -> unit
+  (** The paper's tracing routine: restore every reachable field's volatile
+      replica from persistent space (no-op for non-Mirror primitives). *)
+end

@@ -1,0 +1,35 @@
+(** A concurrent priority queue over the lock-free skip list, in the style
+    of Lotan & Shavit: [delete_min] finds the leftmost live node and tries
+    to remove it, retrying when it loses the race.
+
+    Like the original, the queue is *quiescently consistent* rather than
+    linearizable — an insert of a smaller priority racing a [delete_min]
+    may be missed by it — which is the standard trade-off for skip-list
+    priority queues.  Durability is inherited from the primitive: with the
+    Mirror instance every completed operation survives a crash, and
+    recovery is the skip list's tracing routine.
+
+    Priorities are the integer keys (one element per priority, as in the
+    underlying set). *)
+
+module Make (P : Mirror_prim.Prim.S) = struct
+  module S = Skiplist.Make (P)
+
+  type 'v t = 'v S.t
+
+  let create () = S.create ()
+
+  (** [insert t prio v]: false when the priority is already present. *)
+  let insert t prio v = S.insert t prio v
+
+  (** Remove and return the smallest-priority element. *)
+  let rec delete_min t =
+    match S.min_binding t with
+    | None -> None
+    | Some (k, v) -> if S.remove t k then Some (k, v) else delete_min t
+
+  let peek_min t = S.min_binding t
+  let mem t prio = S.contains t prio
+  let to_list t = S.to_list t
+  let recover t = S.recover t
+end

@@ -1,0 +1,18 @@
+(** A concurrent priority queue over the lock-free skip list (Lotan–Shavit
+    style): quiescently consistent [delete_min], durability inherited from
+    the primitive.  One element per integer priority. *)
+
+module Make (P : Mirror_prim.Prim.S) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+
+  val insert : 'v t -> int -> 'v -> bool
+  (** [false] when the priority is already present. *)
+
+  val delete_min : 'v t -> (int * 'v) option
+  val peek_min : 'v t -> (int * 'v) option
+  val mem : 'v t -> int -> bool
+  val to_list : 'v t -> (int * 'v) list
+  val recover : 'v t -> unit
+end

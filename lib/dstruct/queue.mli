@@ -1,0 +1,18 @@
+(** The Michael–Scott lock-free queue as a functor over the persistence
+    primitive — the paper's generality claim beyond sets: with the Mirror
+    instance this is a durably linearizable queue with no algorithmic
+    change. *)
+
+module Make (P : Mirror_prim.Prim.S) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val enqueue : 'v t -> 'v -> unit
+  val dequeue : 'v t -> 'v option
+  val is_empty : 'v t -> bool
+
+  val to_list : 'v t -> 'v list
+  (** Front first; quiesced inspection. *)
+
+  val recover : 'v t -> unit
+end

@@ -1,0 +1,97 @@
+(** A uniform set-of-int-keyed-int-values interface over every (data
+    structure x persistence strategy) combination, so the harness, the
+    crash-injection checker and the benchmarks can enumerate algorithm
+    variants as first-class modules. *)
+
+module type SET = sig
+  type t
+
+  val name : string
+  val create : ?capacity:int -> unit -> t
+  val insert : t -> int -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+  val find_opt : t -> int -> int option
+  val to_list : t -> (int * int) list
+  val recover : t -> unit
+end
+
+type pack = (module SET)
+
+let name (module S : SET) = S.name
+
+module Of_list (P : Mirror_prim.Prim.S) : SET = struct
+  module L = Linked_list.Make (P)
+
+  type t = int L.t
+
+  let name = "list/" ^ P.name
+  let create ?capacity () = ignore capacity; L.create ()
+  let insert = L.insert
+  let remove = L.remove
+  let contains = L.contains
+  let find_opt = L.find_opt
+  let to_list = L.to_list
+  let recover = L.recover
+end
+
+module Of_hash (P : Mirror_prim.Prim.S) : SET = struct
+  module H = Hash_table.Make (P)
+
+  type t = int H.t
+
+  let name = "hash/" ^ P.name
+  let create ?(capacity = 1024) () = H.create ~buckets:capacity ()
+  let insert = H.insert
+  let remove = H.remove
+  let contains = H.contains
+  let find_opt = H.find_opt
+  let to_list = H.to_list
+  let recover = H.recover
+end
+
+module Of_bst (P : Mirror_prim.Prim.S) : SET = struct
+  module B = Bst.Make (P)
+
+  type t = int B.t
+
+  let name = "bst/" ^ P.name
+  let create ?capacity () = ignore capacity; B.create ()
+  let insert = B.insert
+  let remove = B.remove
+  let contains = B.contains
+  let find_opt = B.find_opt
+  let to_list = B.to_list
+  let recover = B.recover
+end
+
+module Of_skiplist (P : Mirror_prim.Prim.S) : SET = struct
+  module S = Skiplist.Make (P)
+
+  type t = int S.t
+
+  let name = "skiplist/" ^ P.name
+  let create ?capacity () = ignore capacity; S.create ()
+  let insert = S.insert
+  let remove = S.remove
+  let contains = S.contains
+  let find_opt = S.find_opt
+  let to_list = S.to_list
+  let recover = S.recover
+end
+
+type ds = List_ds | Hash_ds | Bst_ds | Skiplist_ds
+
+let ds_name = function
+  | List_ds -> "list"
+  | Hash_ds -> "hash"
+  | Bst_ds -> "bst"
+  | Skiplist_ds -> "skiplist"
+
+let make (ds : ds) (prim : Mirror_prim.Prim.pack) : pack =
+  let module P = (val prim : Mirror_prim.Prim.S) in
+  match ds with
+  | List_ds -> (module Of_list (P) : SET)
+  | Hash_ds -> (module Of_hash (P) : SET)
+  | Bst_ds -> (module Of_bst (P) : SET)
+  | Skiplist_ds -> (module Of_skiplist (P) : SET)

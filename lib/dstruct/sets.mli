@@ -1,0 +1,37 @@
+(** A uniform int-keyed set/map interface over every (data structure x
+    persistence strategy) combination, so the harness, the crash-injection
+    checker and the benchmarks can enumerate algorithm variants as
+    first-class modules. *)
+
+module type SET = sig
+  type t
+
+  val name : string
+  val create : ?capacity:int -> unit -> t
+  val insert : t -> int -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+  val find_opt : t -> int -> int option
+
+  val to_list : t -> (int * int) list
+  (** Quiesced inspection, sorted by key. *)
+
+  val recover : t -> unit
+  (** The structure's tracing routine (paper §4.3.3). *)
+end
+
+type pack = (module SET)
+
+val name : pack -> string
+
+module Of_list (P : Mirror_prim.Prim.S) : SET
+module Of_hash (P : Mirror_prim.Prim.S) : SET
+module Of_bst (P : Mirror_prim.Prim.S) : SET
+module Of_skiplist (P : Mirror_prim.Prim.S) : SET
+
+type ds = List_ds | Hash_ds | Bst_ds | Skiplist_ds
+
+val ds_name : ds -> string
+
+val make : ds -> Mirror_prim.Prim.pack -> pack
+(** Build the packed set for one (structure, strategy) pair. *)

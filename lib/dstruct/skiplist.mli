@@ -1,0 +1,36 @@
+(** Lock-free skip list (Fraser 2003 / Herlihy–Shavit style): per-level
+    marked forward pointers; a node is logically deleted when its level-0
+    pointer is marked. *)
+
+module Make (P : Mirror_prim.Prim.S) : sig
+  type 'v t
+
+  val max_level : int
+
+  val random_level : unit -> int
+  (** Geometric tower height from a per-domain PRNG (exposed for
+      distribution tests). *)
+
+  val create : unit -> 'v t
+  val contains : 'v t -> int -> bool
+  val find_opt : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val remove : 'v t -> int -> bool
+
+  val min_binding : 'v t -> (int * 'v) option
+  (** Smallest live key (basis of the priority queue). *)
+
+  val to_list : 'v t -> (int * 'v) list
+  val size : 'v t -> int
+
+  val fold : ('a -> int -> 'v -> 'a) -> 'a -> 'v t -> 'a
+  (** Weakly consistent live iteration over the bottom level. *)
+
+  val iter : (int -> 'v -> unit) -> 'v t -> unit
+
+  val range : 'v t -> lo:int -> hi:int -> (int * 'v) list
+  (** Entries with [lo <= key < hi], ascending — the YCSB scan: descends
+      the towers to [lo], then walks the bottom level. *)
+
+  val recover : 'v t -> unit
+end

@@ -1,0 +1,16 @@
+(** Treiber's lock-free stack over the persistence primitive: one mutable
+    root, immutable nodes (which need no sequence number, §4.1.1). *)
+
+module Make (P : Mirror_prim.Prim.S) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+  val push : 'v t -> 'v -> unit
+  val pop : 'v t -> 'v option
+  val peek : 'v t -> 'v option
+
+  val to_list : 'v t -> 'v list
+  (** Top first; quiesced inspection. *)
+
+  val recover : 'v t -> unit
+end

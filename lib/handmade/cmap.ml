@@ -1,0 +1,152 @@
+(** A lock-based persistent concurrent hash map modeled on Intel's Cmap
+    engine from pmemkv (§6.2.7 of the paper), itself built on a TBB-style
+    concurrent hash map: striped reader–writer locks over bucket chains that
+    live entirely in NVMM, with flush + fence on every update.
+
+    This is the paper's lock-based baseline: reads pay NVMM latency (no
+    DRAM replica) and writes serialize per stripe — which is exactly what
+    Figure 6(m)/(n) isolates against Mirror's lock-free hash table. *)
+
+open Mirror_nvm
+
+module Core = struct
+  type 'v entry = {
+    key : int;
+    value : 'v Slot.t;
+    next : 'v chain Slot.t;
+  }
+
+  and 'v chain = 'v entry option
+
+  type 'v t = {
+    buckets : 'v chain Slot.t array;
+    locks : Rwlock.t array;
+    lock_mask : int;
+    mask : int;
+    region : Region.t;
+  }
+
+  let stripes = 64
+
+  let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+  let create ?(capacity = 1024) region =
+    let n = next_pow2 (max 2 capacity) 2 in
+    {
+      buckets =
+        Array.init n (fun _ -> Slot.make ~persist:true region None);
+      locks = Array.init stripes (fun _ -> Rwlock.create ());
+      lock_mask = stripes - 1;
+      mask = n - 1;
+      region;
+    }
+
+  let index t k = (k * 0x2545F4914F6CDD1D) lsr 16 land t.mask
+  let lock_of t i = t.locks.(i land t.lock_mask)
+
+  let contains t k =
+    let i = index t k in
+    Rwlock.with_read (lock_of t i) (fun () ->
+        let rec walk (c : 'v chain) =
+          match c with
+          | None -> false
+          | Some e -> if e.key = k then true else walk (Slot.load e.next)
+        in
+        walk (Slot.load t.buckets.(i)))
+
+  let find_opt t k =
+    let i = index t k in
+    Rwlock.with_read (lock_of t i) (fun () ->
+        let rec walk (c : 'v chain) =
+          match c with
+          | None -> None
+          | Some e ->
+              if e.key = k then Some (Slot.load e.value)
+              else walk (Slot.load e.next)
+        in
+        walk (Slot.load t.buckets.(i)))
+
+  (** Insert-or-update; returns [true] when the key was absent. *)
+  let insert t k v =
+    let i = index t k in
+    Rwlock.with_write (lock_of t i) (fun () ->
+        let rec walk (c : 'v chain) =
+          match c with
+          | None ->
+              let head = Slot.load t.buckets.(i) in
+              let e =
+                {
+                  key = k;
+                  value = Slot.make ~persist:false t.region v;
+                  next = Slot.make ~persist:false t.region head;
+                }
+              in
+              Slot.store t.buckets.(i) (Some e);
+              (* persist the new entry and the bucket pointer *)
+              Slot.flush e.value;
+              Slot.flush e.next;
+              Slot.flush t.buckets.(i);
+              Region.fence t.region;
+              true
+          | Some e ->
+              if e.key = k then begin
+                Slot.store e.value v;
+                Slot.flush e.value;
+                Region.fence t.region;
+                false
+              end
+              else walk (Slot.load e.next)
+        in
+        walk (Slot.load t.buckets.(i)))
+
+  let remove t k =
+    let i = index t k in
+    Rwlock.with_write (lock_of t i) (fun () ->
+        let rec walk (prev : 'v chain Slot.t) (c : 'v chain) =
+          match c with
+          | None -> false
+          | Some e ->
+              if e.key = k then begin
+                Slot.store prev (Slot.load e.next);
+                Slot.flush prev;
+                Region.fence t.region;
+                true
+              end
+              else walk e.next (Slot.load e.next)
+        in
+        walk t.buckets.(i) (Slot.load t.buckets.(i)))
+
+  let to_list t =
+    let acc = ref [] in
+    Array.iter
+      (fun b ->
+        let rec walk (c : 'v chain) =
+          match c with
+          | None -> ()
+          | Some e ->
+              acc := (e.key, Slot.peek e.value) :: !acc;
+              walk (Slot.peek e.next)
+        in
+        walk (Slot.peek b))
+      t.buckets;
+    List.sort (fun (a, _) (b, _) -> compare a b) !acc
+end
+
+module Hash_set (C : sig
+  val region : Region.t
+end) : Mirror_dstruct.Sets.SET = struct
+  type t = int Core.t
+
+  let name = "hash/cmap"
+  let create ?(capacity = 1024) () = Core.create ~capacity C.region
+  let insert = Core.insert
+  let remove = Core.remove
+  let contains = Core.contains
+  let find_opt = Core.find_opt
+  let to_list = Core.to_list
+
+  (* Cmap persists in place under its locks; there is no volatile replica to
+     rebuild.  (Crash consistency of multi-word updates is pmemkv's
+     transactional concern, out of scope for the throughput comparison.) *)
+  let recover _ = ()
+end

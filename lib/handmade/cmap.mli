@@ -1,0 +1,19 @@
+(** A lock-based persistent concurrent hash map modeled on Intel pmemkv's
+    Cmap engine (§6.2.7): striped reader–writer locks over NVMM-resident
+    bucket chains, flush + fence on every update.  [insert] has
+    put-or-update semantics (returns [false] on update, like the engine). *)
+
+module Core : sig
+  type 'v t
+
+  val create : ?capacity:int -> Mirror_nvm.Region.t -> 'v t
+  val contains : 'v t -> int -> bool
+  val find_opt : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val remove : 'v t -> int -> bool
+  val to_list : 'v t -> (int * 'v) list
+end
+
+module Hash_set (_ : sig
+  val region : Mirror_nvm.Region.t
+end) : Mirror_dstruct.Sets.SET

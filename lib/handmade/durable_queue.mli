@@ -1,0 +1,17 @@
+(** The hand-made durable Michael–Scott queue of Friedman, Herlihy, Marathe
+    and Petrank (PPoPP 2018) — the paper's reference [18].  Links are
+    persisted before anything acts on them (with helping); the tail is
+    volatile auxiliary state recomputed at recovery. *)
+
+type 'v t
+
+val create : Mirror_nvm.Region.t -> 'v t
+val enqueue : 'v t -> 'v -> unit
+val dequeue : 'v t -> 'v option
+val is_empty : 'v t -> bool
+
+val to_list : 'v t -> 'v list
+(** Front first; quiesced inspection. *)
+
+val recover : 'v t -> unit
+(** Recompute the volatile tail by walking the persisted links. *)

@@ -1,0 +1,33 @@
+(** Link-Free durable set (Zuriel et al., OOPSLA 2019): the whole list in
+    NVMM, links never flushed; nodes carry persistent validity metadata,
+    recovery scans the allocation registry and rebuilds the links.  One
+    flush + fence per update; reads flush only not-yet-persisted nodes
+    (the redundant-persist elimination). *)
+
+module Core : sig
+  type 'v t
+
+  val create :
+    ?track:bool -> ?ebr:Mirror_core.Ebr.t -> Mirror_nvm.Region.t -> 'v t
+  (** [track:false] skips the recovery registry (benchmarks). *)
+
+  val contains : 'v t -> int -> bool
+  val find_opt : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val remove : 'v t -> int -> bool
+  val to_list : 'v t -> (int * 'v) list
+
+  val recover : 'v t -> unit
+  (** Rebuild from the registry's persisted validity metadata.
+      @raise Invalid_argument when created with [track:false]. *)
+end
+
+module List_set (_ : sig
+  val region : Mirror_nvm.Region.t
+  val track : bool
+end) : Mirror_dstruct.Sets.SET
+
+module Hash_set (_ : sig
+  val region : Mirror_nvm.Region.t
+  val track : bool
+end) : Mirror_dstruct.Sets.SET

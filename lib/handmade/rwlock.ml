@@ -1,0 +1,37 @@
+(** A reader–writer spin lock (TBB-style), the locking substrate of the
+    Cmap-like baseline.  State: [-1] = writer holds it, [n >= 0] = n readers.
+    Spinners call [Domain.cpu_relax] so the single-core container still makes
+    progress under contention. *)
+
+type t = { state : int Atomic.t }
+
+let create () = { state = Atomic.make 0 }
+
+let rec read_lock t =
+  Mirror_nvm.Hooks.yield ();
+  let s = Atomic.get t.state in
+  if s >= 0 && Atomic.compare_and_set t.state s (s + 1) then ()
+  else begin
+    Domain.cpu_relax ();
+    read_lock t
+  end
+
+let read_unlock t = ignore (Atomic.fetch_and_add t.state (-1))
+
+let rec write_lock t =
+  Mirror_nvm.Hooks.yield ();
+  if Atomic.compare_and_set t.state 0 (-1) then ()
+  else begin
+    Domain.cpu_relax ();
+    write_lock t
+  end
+
+let write_unlock t = Atomic.set t.state 0
+
+let with_read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) f
+
+let with_write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f

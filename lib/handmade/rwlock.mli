@@ -1,0 +1,14 @@
+(** A reader–writer spin lock (TBB-style) for the Cmap baseline.  Spinners
+    yield to the deterministic scheduler and call [Domain.cpu_relax], so
+    the lock neither deadlocks logical schedsim threads nor starves a
+    single-core box. *)
+
+type t
+
+val create : unit -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,30 @@
+(** SOFT durable set (Zuriel et al., OOPSLA 2019): a volatile linked list
+    in DRAM (lookups never touch NVMM) backed by persistent metadata nodes;
+    one flush + fence per update; recovery rebuilds the volatile list from
+    the pnode registry. *)
+
+module Core : sig
+  type 'v t
+
+  val create :
+    ?track:bool -> ?ebr:Mirror_core.Ebr.t -> Mirror_nvm.Region.t -> 'v t
+
+  val contains : 'v t -> int -> bool
+  val find_opt : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val remove : 'v t -> int -> bool
+  val to_list : 'v t -> (int * 'v) list
+
+  val recover : 'v t -> unit
+  (** @raise Invalid_argument when created with [track:false]. *)
+end
+
+module List_set (_ : sig
+  val region : Mirror_nvm.Region.t
+  val track : bool
+end) : Mirror_dstruct.Sets.SET
+
+module Hash_set (_ : sig
+  val region : Mirror_nvm.Region.t
+  val track : bool
+end) : Mirror_dstruct.Sets.SET

@@ -1,0 +1,166 @@
+(** A redo-log persistent transactional map — the "persistent transactions"
+    alternative the paper's related work contrasts with (Mnemosyne, Romulus,
+    DudeTM style): fully general, trivially correct, but *write operations
+    serialize*, which is exactly the scalability disadvantage the paper
+    cites (§1, §7).
+
+    Design (single global writer lock, shared reader lock):
+
+    - a transaction buffers writes, then (1) appends redo entries to the
+      NVMM log and persists them, (2) persists the committed length — the
+      durable commit point, (3) applies the entries to the map in NVMM,
+      persists, and (4) truncates the log;
+    - a crash before (2) drops the transaction; after (2), recovery replays
+      the log onto the map, completing any partial apply — multi-key
+      transactions are all-or-nothing across crashes;
+    - reads run under the shared lock on the applied state.
+
+    The SET packing runs each operation as a one-element transaction; the
+    {!transaction} entry point exposes the multi-key atomicity that the
+    lock-free Mirror primitive deliberately does not provide (see
+    examples/counters.ml). *)
+
+open Mirror_nvm
+
+type op = Put of int * int | Del of int
+
+(* Buckets hold immutable association lists replaced wholesale per write:
+   the apply step is then a single atomic, flushable store per bucket. *)
+module Chain = struct
+  type t = (int * int) list (* assoc list, immutable *)
+
+  let find = List.assoc_opt
+  let put k v c = (k, v) :: List.remove_assoc k c
+  let del k c = List.remove_assoc k c
+end
+
+type t = {
+  buckets : Chain.t Slot.t array;
+  mask : int;
+  log : op option Slot.t array;
+  log_len : int Slot.t;
+  lock : Rwlock.t;
+  region : Region.t;
+}
+
+let log_capacity = 64
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+let create ?(capacity = 1024) region =
+  let n = next_pow2 (max 2 capacity) 2 in
+  {
+    buckets = Array.init n (fun _ -> Slot.make ~persist:true region []);
+    mask = n - 1;
+    log = Array.init log_capacity (fun _ -> Slot.make ~persist:true region None);
+    log_len = Slot.make ~persist:true region 0;
+    lock = Rwlock.create ();
+    region;
+  }
+
+let index t k = (k * 0x2545F4914F6CDD1D) lsr 16 land t.mask
+
+(* apply one redo entry to the map (idempotent — replay-safe) *)
+let apply t op =
+  match op with
+  | Put (k, v) ->
+      let b = t.buckets.(index t k) in
+      Slot.store b (Chain.put k v (Slot.load b));
+      Slot.flush b
+  | Del k ->
+      let b = t.buckets.(index t k) in
+      Slot.store b (Chain.del k (Slot.load b));
+      Slot.flush b
+
+(* the four-step commit protocol; caller holds the writer lock *)
+let commit_locked t (ops : op list) =
+  if List.length ops > log_capacity then
+    invalid_arg "Txmap: too many operations in one transaction";
+  (* 1. write and persist the redo entries *)
+  List.iteri
+    (fun i op ->
+      Slot.store t.log.(i) (Some op);
+      Slot.flush t.log.(i))
+    ops;
+  Region.fence t.region;
+  (* 2. the durable commit point *)
+  Slot.store t.log_len (List.length ops);
+  Slot.flush t.log_len;
+  Region.fence t.region;
+  (* 3. apply *)
+  List.iter (apply t) ops;
+  Region.fence t.region;
+  (* 4. truncate *)
+  Slot.store t.log_len 0;
+  Slot.flush t.log_len;
+  Region.fence t.region
+
+(** Run a multi-key transaction: all-or-nothing, including across crashes.
+    Serializes with every other writer (the design's scalability price). *)
+let transaction t (ops : op list) =
+  Rwlock.with_write t.lock (fun () -> commit_locked t ops)
+
+let get t k =
+  Rwlock.with_read t.lock (fun () ->
+      Chain.find k (Slot.load t.buckets.(index t k)))
+
+let mem t k = get t k <> None
+
+(** Redo-log recovery: replay any committed-but-unapplied transaction,
+    then truncate.  Runs while the region is down (peeks persisted
+    state), before {!Mirror_nvm.Region.mark_recovered}. *)
+let recover t =
+  let committed = Option.value ~default:0 (Slot.persisted_value t.log_len) in
+  if committed > 0 then begin
+    for i = 0 to committed - 1 do
+      match Slot.persisted_value t.log.(i) with
+      | Some (Some (Put (k, v))) ->
+          let b = t.buckets.(index t k) in
+          let chain = Option.value ~default:[] (Slot.persisted_value b) in
+          Slot.recover_store b (Chain.put k v chain)
+      | Some (Some (Del k)) ->
+          let b = t.buckets.(index t k) in
+          let chain = Option.value ~default:[] (Slot.persisted_value b) in
+          Slot.recover_store b (Chain.del k chain)
+      | _ -> ()
+    done;
+    Slot.recover_store t.log_len 0
+  end
+
+let to_list t =
+  Array.to_list t.buckets
+  |> List.concat_map (fun b -> Slot.peek b)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** SET packing: each operation is a one-element transaction. *)
+module Hash_set (C : sig
+  val region : Region.t
+end) : Mirror_dstruct.Sets.SET = struct
+  type nonrec t = t
+
+  let name = "hash/txmap"
+  let create ?(capacity = 1024) () = create ~capacity C.region
+
+  let insert t k v =
+    Rwlock.with_write t.lock (fun () ->
+        let present = Chain.find k (Slot.load t.buckets.(index t k)) <> None in
+        if present then false
+        else begin
+          commit_locked t [ Put (k, v) ];
+          true
+        end)
+
+  let remove t k =
+    Rwlock.with_write t.lock (fun () ->
+        let present = Chain.find k (Slot.load t.buckets.(index t k)) <> None in
+        if not present then false
+        else begin
+          commit_locked t [ Del k ];
+          true
+        end)
+
+  let contains t k = mem t k
+  let find_opt t k = get t k
+  let to_list t = to_list t
+  let recover t = recover t
+end

@@ -1,0 +1,32 @@
+(** A redo-log persistent transactional map — the serialized-writer
+    "persistent transactions" alternative the paper's related work
+    contrasts with (Mnemosyne / Romulus / DudeTM style).  Multi-key
+    transactions are all-or-nothing across crashes: the persisted log
+    length is the commit point, and recovery replays committed entries. *)
+
+type op = Put of int * int | Del of int
+
+type t
+
+val log_capacity : int
+
+val create : ?capacity:int -> Mirror_nvm.Region.t -> t
+
+val transaction : t -> op list -> unit
+(** Commit the operations atomically (serializes with all other writers).
+    @raise Invalid_argument when more than {!log_capacity} operations. *)
+
+val get : t -> int -> int option
+val mem : t -> int -> bool
+
+val to_list : t -> (int * int) list
+(** Quiesced inspection, sorted. *)
+
+val recover : t -> unit
+(** Redo-log replay: completes any committed-but-unapplied transaction,
+    then truncates the log.  Run while the region is down. *)
+
+(** SET packing: each operation as a one-element transaction. *)
+module Hash_set (_ : sig
+  val region : Mirror_nvm.Region.t
+end) : Mirror_dstruct.Sets.SET

@@ -1,0 +1,236 @@
+(** Durable-linearizability torture testing (Theorem 5.1, executable).
+
+    Runs a mixed workload over a set under the deterministic interleaving
+    scheduler, cuts the execution at an arbitrary protocol step (a simulated
+    power failure mid-operation), applies a crash policy to the region,
+    runs the recovery procedure, and then validates the recovered contents
+    against the recorded history:
+
+    - every operation that *completed* before the crash must be explained;
+    - operations cut in flight may each have taken effect or not;
+    - the per-key membership after recovery must be reachable by some
+      real-time-respecting linearization ({!Linearize}).
+
+    Per-key checking is sound for sets because operations on distinct keys
+    commute.  A domain-based variant crashes at operation boundaries for
+    coverage under real parallelism. *)
+
+open Mirror_dstruct
+
+type op_kind = K_insert | K_remove | K_lookup
+
+type entry = {
+  key : int;
+  kind : op_kind;
+  inv : int;
+  resp : int;
+  ok : bool option;  (** [None]: cut by the crash *)
+}
+
+type violation = {
+  vkey : int;
+  observed : bool;
+  events : entry list;
+}
+
+let pp_violation ppf v =
+  let kind = function K_insert -> "ins" | K_remove -> "rem" | K_lookup -> "get" in
+  Format.fprintf ppf "key %d: observed %b unjustified by history [%a]" v.vkey
+    v.observed
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf e ->
+         Format.fprintf ppf "%s@%d-%d=%s" (kind e.kind) e.inv e.resp
+           (match e.ok with None -> "?" | Some b -> string_of_bool b)))
+    v.events
+
+type worker = {
+  rng : Mirror_workload.Rng.t;
+  mutable log : entry list;
+  mutable pending : (int * op_kind * int) option;  (** key, kind, inv *)
+}
+
+(** Validate the recovered state against the recorded history.  Returns the
+    violations (empty = durably linearizable execution). *)
+let validate ~prefilled ~range ~(observed : (int * int) list)
+    (workers : worker array) : violation list =
+  let by_key : (int, entry list) Hashtbl.t = Hashtbl.create 97 in
+  let add e =
+    Hashtbl.replace by_key e.key (e :: Option.value ~default:[] (Hashtbl.find_opt by_key e.key))
+  in
+  Array.iter
+    (fun w ->
+      List.iter add w.log;
+      match w.pending with
+      | Some (key, kind, inv) ->
+          add { key; kind; inv; resp = max_int; ok = None }
+      | None -> ())
+    workers;
+  let obs_tbl = Hashtbl.create 97 in
+  List.iter (fun (k, _) -> Hashtbl.replace obs_tbl k ()) observed;
+  let member k = Hashtbl.mem obs_tbl k in
+  let violations = ref [] in
+  (* keys never touched by any operation must retain their prefill state *)
+  for k = 0 to range - 1 do
+    if not (Hashtbl.mem by_key k) && member k <> prefilled k then
+      violations := { vkey = k; observed = member k; events = [] } :: !violations
+  done;
+  (* nothing outside the key range may appear *)
+  List.iter
+    (fun (k, _) ->
+      if k < 0 || k >= range then
+        violations := { vkey = k; observed = true; events = [] } :: !violations)
+    observed;
+  let check_key key events =
+    let evs =
+      List.map
+        (fun e ->
+          {
+            Linearize.op =
+              (match e.kind with
+              | K_insert -> Linearize.Set_key_spec.Insert
+              | K_remove -> Linearize.Set_key_spec.Remove
+              | K_lookup -> Linearize.Set_key_spec.Lookup);
+            res = e.ok;
+            inv = e.inv;
+            resp = e.resp;
+          })
+        events
+      |> Array.of_list
+    in
+    let obs = member key in
+    let ok =
+      Linearize.check
+        (module Linearize.Set_key_spec)
+        ~init:(prefilled key)
+        ~final_ok:(fun m -> m = obs)
+        evs
+    in
+    if not ok then
+      violations := { vkey = key; observed = obs; events } :: !violations
+  in
+  Hashtbl.iter check_key by_key;
+  !violations
+
+type result = {
+  violations : violation list;
+  completed_ops : int;
+  inflight_ops : int;
+  crashed_mid_run : bool;
+}
+
+(** Schedsim-based torture: [threads] logical tasks of [ops_per_task]
+    operations each, cut at [crash_step] scheduling decisions. *)
+let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
+    ~(recover : unit -> unit) ?(policy = Mirror_nvm.Region.Adversarial)
+    ~seed ~threads ~ops_per_task ~range ~mix ~crash_step () : result =
+  let t = S.create ~capacity:range () in
+  List.iter
+    (fun k -> ignore (S.insert t k k))
+    (Mirror_workload.Workload.prefill_keys ~range);
+  let clock = Atomic.make 0 in
+  let workers =
+    Array.init threads (fun i ->
+        { rng = Mirror_workload.Rng.split ~seed i; log = []; pending = None })
+  in
+  let task i () =
+    let w = workers.(i) in
+    for _ = 1 to ops_per_task do
+      let op = Mirror_workload.Workload.gen w.rng mix ~range in
+      let key, kind =
+        match op with
+        | Mirror_workload.Workload.Lookup k -> (k, K_lookup)
+        | Insert (k, _) -> (k, K_insert)
+        | Remove k -> (k, K_remove)
+      in
+      let inv = Atomic.fetch_and_add clock 1 in
+      w.pending <- Some (key, kind, inv);
+      let ok =
+        match kind with
+        | K_lookup -> S.contains t key
+        | K_insert -> S.insert t key key
+        | K_remove -> S.remove t key
+      in
+      let resp = Atomic.fetch_and_add clock 1 in
+      w.log <- { key; kind; inv; resp; ok = Some ok } :: w.log;
+      w.pending <- None
+    done
+  in
+  let outcome =
+    Mirror_schedsim.Sched.run ~seed ~max_steps:crash_step
+      (List.init threads (fun i -> task i))
+  in
+  Mirror_nvm.Region.crash ~policy region;
+  recover ();
+  S.recover t;
+  Mirror_nvm.Region.mark_recovered region;
+  let observed = S.to_list t in
+  let violations =
+    validate ~prefilled:Mirror_workload.Workload.is_prefilled ~range ~observed workers
+  in
+  let completed = Array.fold_left (fun a w -> a + List.length w.log) 0 workers in
+  let inflight =
+    Array.fold_left (fun a w -> a + if w.pending <> None then 1 else 0) 0 workers
+  in
+  {
+    violations;
+    completed_ops = completed;
+    inflight_ops = inflight;
+    crashed_mid_run = not outcome.completed;
+  }
+
+(** Domain-based torture: real parallelism, crash at operation boundaries
+    (workers are quiesced before the region crashes). *)
+let torture_domains (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
+    ~(recover : unit -> unit) ?(policy = Mirror_nvm.Region.Adversarial)
+    ~seed ~threads ~ops_per_task ~range ~mix () : result =
+  let t = S.create ~capacity:range () in
+  List.iter
+    (fun k -> ignore (S.insert t k k))
+    (Mirror_workload.Workload.prefill_keys ~range);
+  let clock = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let workers =
+    Array.init threads (fun i ->
+        { rng = Mirror_workload.Rng.split ~seed i; log = []; pending = None })
+  in
+  let body i () =
+    let w = workers.(i) in
+    let n = ref 0 in
+    while (not (Atomic.get stop)) && !n < ops_per_task do
+      incr n;
+      let op = Mirror_workload.Workload.gen w.rng mix ~range in
+      let key, kind =
+        match op with
+        | Mirror_workload.Workload.Lookup k -> (k, K_lookup)
+        | Insert (k, _) -> (k, K_insert)
+        | Remove k -> (k, K_remove)
+      in
+      let inv = Atomic.fetch_and_add clock 1 in
+      let ok =
+        match kind with
+        | K_lookup -> S.contains t key
+        | K_insert -> S.insert t key key
+        | K_remove -> S.remove t key
+      in
+      let resp = Atomic.fetch_and_add clock 1 in
+      w.log <- { key; kind; inv; resp; ok = Some ok } :: w.log
+    done
+  in
+  let doms = Array.init threads (fun i -> Domain.spawn (body i)) in
+  (* let roughly half the work happen, then pull the plug *)
+  while Atomic.get clock < threads * ops_per_task do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set stop true;
+  Array.iter Domain.join doms;
+  Mirror_nvm.Region.crash ~policy region;
+  recover ();
+  S.recover t;
+  Mirror_nvm.Region.mark_recovered region;
+  let observed = S.to_list t in
+  let violations =
+    validate ~prefilled:Mirror_workload.Workload.is_prefilled ~range ~observed workers
+  in
+  let completed = Array.fold_left (fun a w -> a + List.length w.log) 0 workers in
+  { violations; completed_ops = completed; inflight_ops = 0; crashed_mid_run = false }

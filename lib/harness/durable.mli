@@ -1,0 +1,74 @@
+(** Durable-linearizability torture testing (Theorem 5.1, executable):
+    run a workload, cut it with a simulated power failure (mid-operation
+    under the deterministic scheduler, or at operation boundaries under
+    real domains), apply a crash policy, recover, and validate the
+    recovered contents against the recorded history with the per-key
+    linearizability checker. *)
+
+type op_kind = K_insert | K_remove | K_lookup
+
+type entry = {
+  key : int;
+  kind : op_kind;
+  inv : int;
+  resp : int;
+  ok : bool option;  (** [None]: cut by the crash *)
+}
+
+type violation = { vkey : int; observed : bool; events : entry list }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type worker = {
+  rng : Mirror_workload.Rng.t;
+  mutable log : entry list;
+  mutable pending : (int * op_kind * int) option;
+}
+
+val validate :
+  prefilled:(int -> bool) ->
+  range:int ->
+  observed:(int * int) list ->
+  worker array ->
+  violation list
+(** Empty result = the execution is durably linearizable.  Also checks
+    untouched keys kept their initial state and no out-of-range keys
+    appeared. *)
+
+type result = {
+  violations : violation list;
+  completed_ops : int;
+  inflight_ops : int;
+  crashed_mid_run : bool;
+}
+
+val torture_schedsim :
+  (module Mirror_dstruct.Sets.SET) ->
+  region:Mirror_nvm.Region.t ->
+  recover:(unit -> unit) ->
+  ?policy:Mirror_nvm.Region.crash_policy ->
+  seed:int ->
+  threads:int ->
+  ops_per_task:int ->
+  range:int ->
+  mix:Mirror_workload.Workload.mix ->
+  crash_step:int ->
+  unit ->
+  result
+(** Logical tasks under the deterministic scheduler, cut at [crash_step]
+    scheduling decisions — crashes land in the middle of operations. *)
+
+val torture_domains :
+  (module Mirror_dstruct.Sets.SET) ->
+  region:Mirror_nvm.Region.t ->
+  recover:(unit -> unit) ->
+  ?policy:Mirror_nvm.Region.crash_policy ->
+  seed:int ->
+  threads:int ->
+  ops_per_task:int ->
+  range:int ->
+  mix:Mirror_workload.Workload.mix ->
+  unit ->
+  result
+(** Real domains; workers are quiesced before the crash (operation-boundary
+    cuts). *)

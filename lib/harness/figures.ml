@@ -1,0 +1,220 @@
+(** Descriptors for every panel of Figures 6 and 7 of the paper, and the
+    machinery to regenerate them.  See DESIGN.md §4 for the panel-by-panel
+    index and EXPERIMENTS.md for paper-vs-measured notes. *)
+
+open Mirror_dstruct
+
+type algo =
+  | Orig_dram
+  | Orig_nvmm
+  | Izraelevitz
+  | Nvtraverse
+  | Mirror
+  | Mirror_nvmm
+  | Soft
+  | Link_free
+  | Cmap
+
+let algo_name = function
+  | Orig_dram -> "orig-dram"
+  | Orig_nvmm -> "orig-nvmm"
+  | Izraelevitz -> "izraelevitz"
+  | Nvtraverse -> "nvtraverse"
+  | Mirror -> "mirror"
+  | Mirror_nvmm -> "mirror-nvmm"
+  | Soft -> "soft"
+  | Link_free -> "link-free"
+  | Cmap -> "cmap"
+
+(** Build the set implementation for one (structure, algorithm) pair over a
+    fresh region.  [None] when the combination does not exist (SOFT and
+    Link-Free are set-only designs evaluated as list and hash; Cmap is a
+    hash map). *)
+let make_set ~(region : Mirror_nvm.Region.t) (ds : Sets.ds) (a : algo) :
+    Sets.pack option =
+  let module C = struct
+    let region = region
+    let track = false
+  end in
+  let prim name = Mirror_prim.Prim.by_name region name in
+  match a with
+  | Orig_dram -> Some (Sets.make ds (prim "orig-dram"))
+  | Orig_nvmm -> Some (Sets.make ds (prim "orig-nvmm"))
+  | Izraelevitz -> Some (Sets.make ds (prim "izraelevitz"))
+  | Nvtraverse -> Some (Sets.make ds (prim "nvtraverse"))
+  | Mirror -> Some (Sets.make ds (prim "mirror"))
+  | Mirror_nvmm -> Some (Sets.make ds (prim "mirror-nvmm"))
+  | Soft -> (
+      match ds with
+      | Sets.List_ds -> Some (module Mirror_handmade.Soft.List_set (C))
+      | Sets.Hash_ds -> Some (module Mirror_handmade.Soft.Hash_set (C))
+      | _ -> None)
+  | Link_free -> (
+      match ds with
+      | Sets.List_ds -> Some (module Mirror_handmade.Link_free.List_set (C))
+      | Sets.Hash_ds -> Some (module Mirror_handmade.Link_free.Hash_set (C))
+      | _ -> None)
+  | Cmap -> (
+      match ds with
+      | Sets.Hash_ds -> Some (module Mirror_handmade.Cmap.Hash_set (C))
+      | _ -> None)
+
+type axis = Threads | Size | Updates
+
+type panel = {
+  id : string;
+  descr : string;
+  ds : Sets.ds;
+  axis : axis;
+  threads : int;  (** fixed thread count when axis <> Threads *)
+  range : int;  (** fixed key range when axis <> Size *)
+  updates : int;  (** fixed update %% when axis <> Updates *)
+  algos : algo list;
+}
+
+type config = {
+  seconds : float;
+  threads_axis : int list;
+  list_sizes : int list;  (** key ranges for the list size axis *)
+  big_sizes : int list;  (** key ranges for hash/BST/skiplist size axes *)
+  updates_axis : int list;
+  list_range : int;
+  big_range : int;
+  huge_range : int;  (** the 32M-node panel 6o, scaled *)
+  llc_bytes : int;
+      (** modeled last-level cache for the two-regime read-cost model,
+          scaled with the structure sizes (the paper's machine has 25 MB) *)
+}
+
+let quick =
+  {
+    seconds = 0.2;
+    threads_axis = [ 1; 2; 4; 8 ];
+    list_sizes = [ 256; 1024; 4096 ];
+    big_sizes = [ 4096; 32768; 131072 ];
+    updates_axis = [ 0; 20; 50; 100 ];
+    list_range = 256;
+    big_range = 65536;
+    huge_range = 262144;
+    llc_bytes = 1 lsl 20;
+  }
+
+let full =
+  {
+    seconds = 1.0;
+    threads_axis = [ 1; 2; 4; 8; 16 ];
+    list_sizes = [ 256; 512; 1024; 4096; 16384 ];
+    big_sizes = [ 4096; 16384; 65536; 262144; 1048576 ];
+    updates_axis = [ 0; 10; 20; 50; 80; 100 ];
+    list_range = 256;
+    big_range = 262144;
+    huge_range = 1048576;
+    llc_bytes = 4 lsl 20;
+  }
+
+let general = [ Orig_dram; Orig_nvmm; Izraelevitz; Nvtraverse; Mirror ]
+let set_algos = general @ [ Soft; Link_free ]
+
+(** Figure 6: Mirror's volatile replica on DRAM. *)
+let figure6 cfg =
+  let p id descr ds axis ?(threads = 8) ?(range = cfg.big_range)
+      ?(updates = 20) algos =
+    { id; descr; ds; axis; threads; range; updates; algos }
+  in
+  [
+    p "6a" "Linked-List, threads, 128 nodes, 80% lookups" Sets.List_ds Threads
+      ~range:cfg.list_range set_algos;
+    p "6b" "Linked-List, sizes, 8 threads, 80% lookups" Sets.List_ds Size
+      ~range:cfg.list_range set_algos;
+    p "6c" "Linked-List, update %, 8 threads, 128 nodes" Sets.List_ds Updates
+      ~range:cfg.list_range set_algos;
+    p "6d" "Hash-Table, threads, 80% lookups" Sets.Hash_ds Threads set_algos;
+    p "6e" "Hash-Table, sizes, 8 threads, 80% lookups" Sets.Hash_ds Size
+      set_algos;
+    p "6f" "Hash-Table, update %, 8 threads" Sets.Hash_ds Updates set_algos;
+    p "6g" "BST, threads, 80% lookups" Sets.Bst_ds Threads general;
+    p "6h" "BST, sizes, 8 threads, 80% lookups" Sets.Bst_ds Size general;
+    p "6i" "BST, update %, 8 threads" Sets.Bst_ds Updates general;
+    p "6j" "Skip-List, threads, 80% lookups" Sets.Skiplist_ds Threads general;
+    p "6k" "Skip-List, sizes, 8 threads, 80% lookups" Sets.Skiplist_ds Size
+      general;
+    p "6l" "Skip-List, update %, 8 threads" Sets.Skiplist_ds Updates general;
+    p "6m" "Hash-Table vs Cmap, threads, 80% lookups / 20% writes"
+      Sets.Hash_ds Threads [ Mirror; Cmap ];
+    p "6n" "Hash-Table vs Cmap, update %, 8 threads" Sets.Hash_ds Updates
+      [ Mirror; Cmap ];
+    p "6o" "Hash-Table (32M-scale), update %, 8 threads" Sets.Hash_ds Updates
+      ~range:cfg.huge_range
+      [ Mirror; Nvtraverse; Soft; Link_free ];
+  ]
+
+(** Figure 7: both Mirror replicas on NVMM — same panels a–l with the
+    Mirror-NVMM placement. *)
+let figure7 cfg =
+  figure6 cfg
+  |> List.filter (fun p -> p.id <= "6l")
+  |> List.map (fun p ->
+         {
+           p with
+           id = "7" ^ String.sub p.id 1 (String.length p.id - 1);
+           descr = p.descr ^ " [both replicas on NVMM]";
+           algos =
+             List.map (fun a -> if a = Mirror then Mirror_nvmm else a) p.algos;
+         })
+
+let all_panels cfg = figure6 cfg @ figure7 cfg
+
+type row = { panel : panel; x : int; point : Runner.point }
+
+(** Run one panel; returns a row per (x-value, algorithm). *)
+let run_panel ?(progress = fun (_ : string) -> ()) (cfg : config) (panel : panel)
+    : row list =
+  let xs =
+    match panel.axis with
+    | Threads -> cfg.threads_axis
+    | Size -> (
+        match panel.ds with
+        | Sets.List_ds -> cfg.list_sizes
+        | _ -> cfg.big_sizes)
+    | Updates -> cfg.updates_axis
+  in
+  List.concat_map
+    (fun x ->
+      let threads = match panel.axis with Threads -> x | _ -> panel.threads in
+      let range = match panel.axis with Size -> x | _ -> panel.range in
+      let updates =
+        match panel.axis with Updates -> x | _ -> panel.updates
+      in
+      let mix = Mirror_workload.Workload.of_updates updates in
+      List.filter_map
+        (fun algo ->
+          let region = Mirror_nvm.Region.create ~track_slots:false () in
+          match make_set ~region panel.ds algo with
+          | None -> None
+          | Some (module S) ->
+              progress
+                (Printf.sprintf "panel %s x=%d algo=%s" panel.id x
+                   (algo_name algo));
+              let point =
+                Runner.run ~seconds:cfg.seconds ~llc_bytes:cfg.llc_bytes
+                  ~threads ~range ~mix
+                  (module S)
+              in
+              Some { panel; x; point })
+        panel.algos)
+    xs
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-3s x=%-8d %a" r.panel.id r.x Runner.pp_point r.point
+
+(** CSV-ish row used by EXPERIMENTS.md tooling. *)
+let row_to_csv r =
+  Printf.sprintf "%s,%s,%s,%d,%d,%.4f,%.3f,%.2f,%.3f,%.3f,%.3f" r.panel.id
+    (Sets.ds_name r.panel.ds) r.point.Runner.algo r.x r.point.Runner.threads
+    r.point.Runner.mops r.point.Runner.modeled_mops
+    r.point.Runner.per_op.Runner.nvm_reads
+    r.point.Runner.per_op.Runner.nvm_writes r.point.Runner.per_op.Runner.flushes
+    r.point.Runner.per_op.Runner.fences
+
+let csv_header =
+  "panel,ds,algo,x,threads,mops,modeled_mops,nvm_reads_per_op,nvm_writes_per_op,flushes_per_op,fences_per_op"

@@ -1,0 +1,63 @@
+(** Descriptors and machinery for every panel of the paper's Figures 6
+    and 7.  See DESIGN.md §4 for the panel-by-panel index and
+    EXPERIMENTS.md for paper-vs-measured notes. *)
+
+type algo =
+  | Orig_dram
+  | Orig_nvmm
+  | Izraelevitz
+  | Nvtraverse
+  | Mirror
+  | Mirror_nvmm
+  | Soft
+  | Link_free
+  | Cmap
+
+val algo_name : algo -> string
+
+val make_set :
+  region:Mirror_nvm.Region.t ->
+  Mirror_dstruct.Sets.ds ->
+  algo ->
+  Mirror_dstruct.Sets.pack option
+(** [None] when the combination does not exist (SOFT/Link-Free are
+    list+hash designs; Cmap is a hash map). *)
+
+type axis = Threads | Size | Updates
+
+type panel = {
+  id : string;
+  descr : string;
+  ds : Mirror_dstruct.Sets.ds;
+  axis : axis;
+  threads : int;
+  range : int;
+  updates : int;
+  algos : algo list;
+}
+
+type config = {
+  seconds : float;
+  threads_axis : int list;
+  list_sizes : int list;
+  big_sizes : int list;
+  updates_axis : int list;
+  list_range : int;
+  big_range : int;
+  huge_range : int;
+  llc_bytes : int;
+}
+
+val quick : config
+val full : config
+
+val figure6 : config -> panel list
+val figure7 : config -> panel list
+val all_panels : config -> panel list
+
+type row = { panel : panel; x : int; point : Runner.point }
+
+val run_panel : ?progress:(string -> unit) -> config -> panel -> row list
+val pp_row : Format.formatter -> row -> unit
+val row_to_csv : row -> string
+val csv_header : string

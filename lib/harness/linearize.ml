@@ -1,0 +1,156 @@
+(** A small linearizability checker (Wing & Gong style exhaustive search
+    with memoization).
+
+    Given a history of operations with invocation/response timestamps and a
+    sequential specification, decides whether some linear extension of the
+    real-time partial order explains all recorded results and reaches a
+    final state accepted by [final_ok].  Operations whose result is [None]
+    were cut by a crash: the checker may include or exclude each — exactly
+    the freedom durable linearizability grants in-flight operations.
+
+    Used per-key on set histories (each key's operations commute with every
+    other key's, so per-key checking is sound for sets) and on single
+    [Patomic] variable histories against an atomic-register spec.  Histories
+    are capped at 62 events so the remaining-set fits a bitmask. *)
+
+module type SPEC = sig
+  type state
+  type op
+  type res
+
+  val apply : state -> op -> state * res
+  val res_equal : res -> res -> bool
+  val state_id : state -> int  (** small encoding for memoization *)
+end
+
+type ('o, 'r) event = {
+  op : 'o;
+  res : 'r option;  (** [None]: cut in flight; effect optional *)
+  inv : int;
+  resp : int;  (** [max_int] when the response never happened *)
+}
+
+(* DFS within one window.  The remaining set is a sorted list of event
+   indices (windows can chain hundreds of events on a preemptive scheduler
+   where one stalled operation spans many others, so a word-sized bitmask
+   is not enough); memoization keys on (remaining, state_id).  An event may
+   be linearized next iff it was invoked no later than every remaining
+   event's response — computed once per node as a min-response bound.
+   [accept state = Some f] short-circuits the final window; [None] collects
+   every reachable all-consumed state instead. *)
+let window_dfs (type s o r)
+    (module Sp : SPEC with type state = s and type op = o and type res = r)
+    ~(inits : s list) ~(accept : (s -> bool) option) (evs : (o, r) event array)
+    : bool * s list =
+  let n = Array.length evs in
+  if n > 4096 then
+    invalid_arg "Linearize: window too large (more than 4096 overlapping ops)";
+  let memo : (int list * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let finals : (int, s) Hashtbl.t = Hashtbl.create 16 in
+  let found = ref false in
+  let all = List.init n (fun i -> i) in
+  let rec go (remaining : int list) (state : s) =
+    (if List.for_all (fun i -> evs.(i).res = None) remaining then
+       match accept with
+       | Some f -> if f state then found := true
+       | None ->
+           if remaining = [] then
+             Hashtbl.replace finals (Sp.state_id state) state);
+    if !found then ()
+    else
+      let key = (remaining, Sp.state_id state) in
+      if not (Hashtbl.mem memo key) then begin
+        Hashtbl.add memo key ();
+        let min_resp =
+          List.fold_left (fun m i -> min m evs.(i).resp) max_int remaining
+        in
+        List.iter
+          (fun i ->
+            if (not !found) && evs.(i).inv <= min_resp then begin
+              let state', r = Sp.apply state evs.(i).op in
+              let res_ok =
+                match evs.(i).res with
+                | None -> true
+                | Some expect -> Sp.res_equal r expect
+              in
+              if res_ok then
+                go (List.filter (fun j -> j <> i) remaining) state'
+            end)
+          remaining
+      end
+  in
+  List.iter (fun init -> if not !found then go all init) inits;
+  (!found, Hashtbl.fold (fun _ s acc -> s :: acc) finals [])
+
+(* Split a history into windows at real-time cut points: position [j] starts
+   a new window when every earlier event responded before [j] was invoked —
+   those events are forced to linearize first, so the search decomposes. *)
+let split_windows evs =
+  let evs = List.of_seq (Array.to_seq evs) in
+  let sorted = List.stable_sort (fun a b -> compare a.inv b.inv) evs in
+  let rec go current max_resp acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | e :: rest ->
+        if current <> [] && e.inv > max_resp then
+          go [ e ] e.resp (List.rev current :: acc) rest
+        else go (e :: current) (max max_resp e.resp) acc rest
+  in
+  match sorted with [] -> [] | e :: rest -> go [ e ] e.resp [] rest
+
+let check (type s o r)
+    (module Sp : SPEC with type state = s and type op = o and type res = r)
+    ~(init : s) ~(final_ok : s -> bool) (evs : (o, r) event array) : bool =
+  match split_windows evs with
+  | [] -> final_ok init
+  | windows ->
+      let rec run inits = function
+        | [] -> assert false
+        | [ last ] ->
+            inits <> []
+            && fst
+                 (window_dfs
+                    (module Sp)
+                    ~inits ~accept:(Some final_ok) (Array.of_list last))
+        | w :: rest ->
+            let _, outs =
+              window_dfs (module Sp) ~inits ~accept:None (Array.of_list w)
+            in
+            outs <> [] && run outs rest
+      in
+      run [ init ] windows
+
+(* -- ready-made specs ------------------------------------------------------ *)
+
+(** Sequential spec of one key of a set: state = membership. *)
+module Set_key_spec = struct
+  type state = bool
+  type op = Insert | Remove | Lookup
+  type res = bool
+
+  let apply member = function
+    | Insert -> (true, not member)
+    | Remove -> (false, member)
+    | Lookup -> (member, member)
+
+  let res_equal = Bool.equal
+  let state_id b = Bool.to_int b
+end
+
+(** Sequential spec of an atomic register with CAS/load (for Lemma 5.2). *)
+module Register_spec = struct
+  type state = int
+  type op = Load | Cas of int * int
+  type res = RInt of int | RBool of bool
+
+  let apply v = function
+    | Load -> (v, RInt v)
+    | Cas (exp, des) -> if v = exp then (des, RBool true) else (v, RBool false)
+
+  let res_equal a b =
+    match (a, b) with
+    | RInt x, RInt y -> x = y
+    | RBool x, RBool y -> x = y
+    | _ -> false
+
+  let state_id v = v
+end

@@ -1,0 +1,60 @@
+(** A linearizability checker (Wing–Gong style search) with real-time
+    window decomposition and memoization.
+
+    Given operations with invocation/response timestamps, recorded results
+    (or [None] for operations cut in flight, whose effect is optional) and
+    a sequential specification, decides whether some real-time-respecting
+    linearization explains every result and reaches a final state accepted
+    by [final_ok].  Histories decompose at real-time cut points, so long
+    mostly-sequential histories are cheap; within a window the search is
+    memoized and short-circuits on the first valid linearization.  Windows
+    beyond 4096 overlapping operations are rejected. *)
+
+module type SPEC = sig
+  type state
+  type op
+  type res
+
+  val apply : state -> op -> state * res
+  val res_equal : res -> res -> bool
+
+  val state_id : state -> int
+  (** Must be injective on reachable states (memoization key). *)
+end
+
+type ('o, 'r) event = {
+  op : 'o;
+  res : 'r option;  (** [None]: cut in flight; effect optional *)
+  inv : int;
+  resp : int;  (** [max_int] when the response never happened *)
+}
+
+val check :
+  (module SPEC with type state = 's and type op = 'o and type res = 'r) ->
+  init:'s ->
+  final_ok:('s -> bool) ->
+  ('o, 'r) event array ->
+  bool
+(** @raise Invalid_argument when more than 4096 operations overlap. *)
+
+(** Sequential spec of one key of a set (membership). *)
+module Set_key_spec : sig
+  type state = bool
+  type op = Insert | Remove | Lookup
+  type res = bool
+
+  val apply : state -> op -> state * res
+  val res_equal : res -> res -> bool
+  val state_id : state -> int
+end
+
+(** Sequential spec of an atomic register with CAS/load (Lemma 5.2). *)
+module Register_spec : sig
+  type state = int
+  type op = Load | Cas of int * int
+  type res = RInt of int | RBool of bool
+
+  val apply : state -> op -> state * res
+  val res_equal : res -> res -> bool
+  val state_id : state -> int
+end

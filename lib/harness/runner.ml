@@ -1,0 +1,151 @@
+(** Throughput measurement harness.
+
+    Each experiment point spawns [threads] domains running the given op mix
+    against one shared structure for a fixed wall-clock duration, with NVMM
+    latency injection enabled, and reports:
+
+    - measured throughput (Mops/s) — on this single-core container the
+      domains timeshare, so absolute numbers are low, but the *ratios*
+      between algorithms are driven by the injected per-op costs and follow
+      the paper's;
+    - per-operation event counts (NVMM reads/writes, flushes, fences);
+    - modeled throughput: the deterministic cost model
+      [threads / (per-op modeled latency)], i.e. the throughput an ideal
+      [threads]-core machine with the configured memory timings would get —
+      this is the number whose *shape* reproduces the paper's figures. *)
+
+open Mirror_nvm
+open Mirror_dstruct
+
+type per_op = {
+  dram_reads : float;
+  nvm_reads : float;
+  nvm_writes : float;
+  flushes : float;
+  fences : float;
+}
+
+type point = {
+  algo : string;
+  threads : int;
+  ops : int;
+  seconds : float;
+  mops : float;  (** measured, timeshared *)
+  modeled_mops : float;  (** cost-model, ideal scaling *)
+  per_op : per_op;
+}
+
+(* Baseline per-op CPU cost (ns) added to the memory model: key comparison,
+   branching, allocation.  Roughly an op on a warm volatile structure. *)
+let base_op_ns = 40.
+
+(* Memory-resident access latencies (the cache-miss case).  The hit case
+   costs [hit_ns].  Per experiment, reads are a miss with probability
+   [p_miss = max 0 (1 - llc/working_set)] — the two-regime cache model:
+   the paper's 128-node lists are cache-resident (persistence cost is all
+   flush/fence), its 8M-node structures are memory-resident (NVMM reads
+   cost 3x DRAM reads). *)
+let dram_miss_ns = 100.
+let hit_ns = 2.
+let bytes_per_key = 64. (* 128-byte cache-aligned node per 2 keys of range *)
+
+let scaled_config ~llc_bytes ~range =
+  let base = Latency.default in
+  if llc_bytes <= 0 then base
+  else begin
+    let ws = bytes_per_key *. float_of_int range in
+    let p_miss = Float.max 0. (1. -. (float_of_int llc_bytes /. ws)) in
+    let mix miss hit = int_of_float ((p_miss *. miss) +. ((1. -. p_miss) *. hit)) in
+    {
+      base with
+      Latency.nvm_read_ns = mix (float_of_int base.Latency.nvm_read_ns) hit_ns;
+      dram_read_ns = mix dram_miss_ns hit_ns;
+    }
+  end
+
+let modeled_ns (p : per_op) =
+  let c = Latency.get_config () in
+  base_op_ns
+  +. (p.dram_reads *. float_of_int (max 2 c.Latency.dram_read_ns))
+  +. (p.nvm_reads *. float_of_int c.Latency.nvm_read_ns)
+  +. (p.nvm_writes *. float_of_int c.Latency.nvm_write_ns)
+  +. (p.flushes *. float_of_int c.Latency.flush_ns)
+  +. (p.fences *. float_of_int c.Latency.fence_ns)
+
+let run ?(seconds = 0.3) ?(seed = 42) ?(llc_bytes = 0)
+    ?(dist = Mirror_workload.Workload.Uniform) ~threads ~range ~mix
+    (module S : Sets.SET) : point =
+  Latency.set_enabled false;
+  if llc_bytes > 0 then Latency.set_config (scaled_config ~llc_bytes ~range);
+  let t = S.create ~capacity:range () in
+  List.iter
+    (fun k -> ignore (S.insert t k k))
+    (Mirror_workload.Workload.prefill_keys ~range);
+  Stats.reset_all ();
+  Latency.set_enabled true;
+  let stop = Atomic.make false in
+  let go = Atomic.make false in
+  let ready = Atomic.make 0 in
+  let counts = Array.make threads 0 in
+  let body i () =
+    let rng = Mirror_workload.Rng.split ~seed i in
+    ignore (Atomic.fetch_and_add ready 1);
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let n = ref 0 in
+    while not (Atomic.get stop) do
+      (match Mirror_workload.Workload.gen ~dist rng mix ~range with
+      | Mirror_workload.Workload.Lookup k -> ignore (S.contains t k)
+      | Insert (k, v) -> ignore (S.insert t k v)
+      | Remove k -> ignore (S.remove t k));
+      incr n
+    done;
+    counts.(i) <- !n
+  in
+  let doms = Array.init threads (fun i -> Domain.spawn (body i)) in
+  (* start barrier: domain spawn time stays out of the measurement *)
+  while Atomic.get ready < threads do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  Array.iter Domain.join doms;
+  let t1 = Unix.gettimeofday () in
+  Latency.set_enabled false;
+  let ops = Array.fold_left ( + ) 0 counts in
+  let st = Stats.total () in
+  let fops = float_of_int (max 1 ops) in
+  let per_op =
+    {
+      dram_reads = float_of_int st.Stats.dram_read /. fops;
+      nvm_reads = float_of_int st.Stats.nvm_read /. fops;
+      nvm_writes =
+        float_of_int (st.Stats.nvm_write + st.Stats.nvm_cas) /. fops;
+      flushes = float_of_int st.Stats.flush /. fops;
+      fences = float_of_int st.Stats.fence /. fops;
+    }
+  in
+  let wall = t1 -. t0 in
+  let result =
+    {
+      algo = S.name;
+      threads;
+      ops;
+      seconds = wall;
+      mops = float_of_int ops /. 1e6 /. wall;
+      modeled_mops = float_of_int threads *. 1e3 /. modeled_ns per_op;
+      per_op;
+    }
+  in
+  if llc_bytes > 0 then Latency.set_config Latency.default;
+  result
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "%-22s t=%-2d ops=%-9d mops=%-8.3f model=%-8.2f nvmR/op=%-6.1f \
+     nvmW/op=%-5.2f fl/op=%-5.2f fe/op=%-5.2f"
+    p.algo p.threads p.ops p.mops p.modeled_mops p.per_op.nvm_reads
+    p.per_op.nvm_writes p.per_op.flushes p.per_op.fences

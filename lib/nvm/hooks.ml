@@ -1,0 +1,19 @@
+(** Scheduling hooks.
+
+    Every simulated memory access and every step of the Mirror protocol calls
+    {!yield} between its atomic sub-steps.  In normal execution this is a
+    no-op; the deterministic interleaving scheduler ({!Mirror_schedsim.Sched})
+    installs a handler here so that it can preempt logical threads at every
+    shared-memory step.  This is what makes single-core concurrency testing of
+    the protocol meaningful. *)
+
+let yield_ref : (unit -> unit) ref = ref (fun () -> ())
+
+let yield () = !yield_ref ()
+
+(** [with_yield f body] installs [f] as the yield hook for the duration of
+    [body], restoring the previous hook afterwards (exception-safe). *)
+let with_yield f body =
+  let saved = !yield_ref in
+  yield_ref := f;
+  Fun.protect ~finally:(fun () -> yield_ref := saved) body

@@ -1,0 +1,9 @@
+(** Scheduling hook called between atomic steps of every simulated memory
+    access and of the Mirror protocol.  A no-op in production; the
+    deterministic scheduler installs a preemption point here. *)
+
+val yield_ref : (unit -> unit) ref
+val yield : unit -> unit
+
+val with_yield : (unit -> unit) -> (unit -> 'a) -> 'a
+(** Install a hook for the duration of the callback (exception-safe). *)

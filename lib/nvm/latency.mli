@@ -1,0 +1,42 @@
+(** Calibrated latency injection for the simulated memory hierarchy.
+
+    Costs are injected as calibrated busy-waits so that measured throughput
+    reflects the configured DRAM/NVMM gap.  Defaults follow published Optane
+    DC characteristics (reads ~3x DRAM, cheap buffered writes, costly
+    flush + fence); everything is overridable via [MIRROR_*_NS] environment
+    variables or {!set_config}.  Injection is disabled by default (unit
+    tests count events only). *)
+
+type config = {
+  nvm_read_ns : int;
+  nvm_write_ns : int;
+  flush_ns : int;
+  fence_ns : int;
+  dram_read_ns : int;
+      (** 0 when the working set is cache-resident; the harness scales this
+          per experiment (two-regime cache model, see EXPERIMENTS.md) *)
+}
+
+val default : config
+
+val profiles : (string * config) list
+(** Flush/fence instruction profiles (§6.1): x86 clwb / clflushopt /
+    clflush and ARM DC CVAP + DSB. *)
+
+val profile : string -> config
+(** @raise Invalid_argument on unknown profile names. *)
+
+val get_config : unit -> config
+val set_config : config -> unit
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val spin_ns : int -> unit
+(** Busy-wait approximately that many nanoseconds (self-calibrating). *)
+
+val nvm_read : unit -> unit
+val nvm_write : unit -> unit
+val flush : unit -> unit
+val fence : unit -> unit
+val dram_read : unit -> unit

@@ -1,0 +1,143 @@
+(** A simulated persistent-memory region with a crash controller.
+
+    The region plays the role of the mmapped NVMM file of the paper (§4.2).
+    Persistent slots ({!Slot}) register themselves here; volatile state
+    (e.g. the DRAM replica of a [Patomic]) registers an invalidation closure.
+    [crash] then implements a full-system power failure:
+
+    - every cache line flushed but not yet fenced may or may not have reached
+      the memory (decided by the {!crash_policy});
+    - every dirty, unflushed line is lost (adversarial) or survives with the
+      eviction probability (lenient);
+    - all volatile state is invalidated.
+
+    A region can also simulate spontaneous cache eviction at run time
+    ([runtime_evict_prob]): real caches write dirty lines back whenever they
+    please, so an algorithm must be correct even when *more* than it flushed
+    gets persisted. *)
+
+type crash_policy =
+  | Adversarial
+      (** nothing survives except writes covered by a completed flush+fence *)
+  | Eviction of float
+      (** each un-fenced write independently survives with probability [p] *)
+
+type t = {
+  mutable slot_resets : (persist_first:bool -> unit) list;
+      (** one closure per registered persistent slot: optionally persist the
+          current (cache) value, then reset the cache view to the persisted
+          value *)
+  mutable volatile_invalidators : (unit -> unit) list;
+  mutex : Mutex.t;
+  mutable down : bool;
+  mutable track_slots : bool;
+      (** benches disable registration: they never crash and must not retain
+          every node ever allocated *)
+  pending : (unit -> unit) list Atomic.t;
+      (** write-back thunks recorded by [flush], committed by [fence] *)
+  rng : Random.State.t;
+  mutable runtime_evict_prob : float;
+  mutable crashes : int;
+}
+
+let create ?(track_slots = true) ?(runtime_evict_prob = 0.0) ?(seed = 0xC0FFEE)
+    () =
+  {
+    slot_resets = [];
+    volatile_invalidators = [];
+    mutex = Mutex.create ();
+    down = false;
+    track_slots;
+    pending = Atomic.make [];
+    rng = Random.State.make [| seed |];
+    runtime_evict_prob;
+    crashes = 0;
+  }
+
+let is_down t = t.down
+let crash_count t = t.crashes
+
+let check_up t =
+  if t.down then
+    invalid_arg
+      "Mirror_nvm.Region: access to a crashed region before recovery"
+
+let register_slot t reset =
+  if t.track_slots then begin
+    Mutex.lock t.mutex;
+    t.slot_resets <- reset :: t.slot_resets;
+    Mutex.unlock t.mutex
+  end
+
+let register_volatile t invalidate =
+  if t.track_slots then begin
+    Mutex.lock t.mutex;
+    t.volatile_invalidators <- invalidate :: t.volatile_invalidators;
+    Mutex.unlock t.mutex
+  end
+
+(* -- flush / fence ------------------------------------------------------- *)
+
+(** Record a write-back thunk.  The snapshot semantics (what value gets
+    persisted) is the caller's business: {!Slot.flush} captures the cache
+    content at flush time, which is a legal write-back instant. *)
+let add_pending t thunk =
+  let rec go () =
+    let old = Atomic.get t.pending in
+    if not (Atomic.compare_and_set t.pending old (thunk :: old)) then go ()
+  in
+  go ()
+
+(** [sfence]: all recorded write-backs are now guaranteed persistent.
+    Draining everyone's pending write-backs (not just the calling domain's)
+    is a legal execution — eviction may persist any flushed line at any
+    time — and simplifies the model. *)
+let fence t =
+  Stats.((get ()).fence <- (get ()).fence + 1);
+  Latency.fence ();
+  let thunks = Atomic.exchange t.pending [] in
+  List.iter (fun f -> f ()) thunks;
+  Hooks.yield ()
+
+let pending_count t = List.length (Atomic.get t.pending)
+
+(* -- runtime eviction ---------------------------------------------------- *)
+
+let maybe_evict t (persist : unit -> unit) =
+  if t.runtime_evict_prob > 0. then begin
+    Mutex.lock t.mutex;
+    let hit = Random.State.float t.rng 1.0 < t.runtime_evict_prob in
+    Mutex.unlock t.mutex;
+    if hit then persist ()
+  end
+
+(* -- crash --------------------------------------------------------------- *)
+
+(** Simulate a full-system crash.  Must be called while no other domain is
+    accessing the region (the harness quiesces workers first; the
+    deterministic scheduler is single-domain and can crash mid-operation). *)
+let crash ?(policy = Adversarial) t =
+  Mutex.lock t.mutex;
+  t.crashes <- t.crashes + 1;
+  t.down <- true;
+  (* 1. un-fenced flushes: apply the policy *)
+  let thunks = Atomic.exchange t.pending [] in
+  let survive () =
+    match policy with
+    | Adversarial -> false
+    | Eviction p -> Random.State.float t.rng 1.0 < p
+  in
+  List.iter (fun f -> if survive () then f ()) thunks;
+  (* 2. dirty unflushed lines: lost, unless eviction got them *)
+  let persist_first = match policy with Adversarial -> false | Eviction _ -> true in
+  List.iter
+    (fun reset -> reset ~persist_first:(persist_first && survive ()))
+    t.slot_resets;
+  (* 3. volatile memory (DRAM replicas, caches) is gone *)
+  List.iter (fun f -> f ()) t.volatile_invalidators;
+  Mutex.unlock t.mutex
+
+(** Recovery is complete; normal operation may resume.  Called by the
+    recovery procedure ({!Mirror_core.Roots.recover}) after it has restored
+    all volatile replicas reachable from the persistent roots. *)
+let mark_recovered t = t.down <- false

@@ -1,0 +1,52 @@
+(** A simulated persistent-memory region with a crash controller — the
+    mmapped NVMM file of the paper (§4.2).
+
+    Slots register themselves here; volatile state (DRAM replicas) registers
+    invalidation closures.  {!crash} implements a full-system power failure;
+    {!fence} commits pending write-backs; [runtime_evict_prob] simulates
+    spontaneous cache eviction (an algorithm must tolerate *more* than it
+    flushed becoming durable). *)
+
+type crash_policy =
+  | Adversarial
+      (** only writes covered by a completed flush + fence survive *)
+  | Eviction of float
+      (** each un-fenced write independently survives with probability [p] *)
+
+type t
+
+val create :
+  ?track_slots:bool -> ?runtime_evict_prob:float -> ?seed:int -> unit -> t
+(** [track_slots] (default [true]): register slots for crash processing.
+    Benchmarks disable it — they never crash and must not retain every node
+    ever allocated. *)
+
+val is_down : t -> bool
+(** True between a {!crash} and {!mark_recovered}. *)
+
+val crash_count : t -> int
+
+val check_up : t -> unit
+(** @raise Invalid_argument when the region is down (access before
+    recovery). *)
+
+val register_slot : t -> (persist_first:bool -> unit) -> unit
+val register_volatile : t -> (unit -> unit) -> unit
+
+val add_pending : t -> (unit -> unit) -> unit
+(** Record a write-back thunk (used by {!Slot.flush}). *)
+
+val fence : t -> unit
+(** [sfence]: commit all pending write-backs.  Charges the fence cost. *)
+
+val pending_count : t -> int
+
+val maybe_evict : t -> (unit -> unit) -> unit
+(** Run the persist action with the region's runtime eviction probability. *)
+
+val crash : ?policy:crash_policy -> t -> unit
+(** Simulate a full-system crash.  Callers must quiesce other domains first
+    (the deterministic scheduler can crash mid-operation safely). *)
+
+val mark_recovered : t -> unit
+(** Recovery complete; normal operation may resume. *)

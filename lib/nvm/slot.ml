@@ -1,0 +1,152 @@
+(** A word of simulated persistent memory.
+
+    A slot models one (double-)word of NVMM together with its cache line:
+
+    - [current] is the coherent view every processor sees (cache + memory);
+    - [persisted] is what is guaranteed to survive a crash ([None] until the
+      first write-back reaches the media).
+
+    Internal version numbers keep write-backs monotone: on real hardware two
+    [clwb]s of the same line can never travel back in time, so a concurrent
+    flush of an older snapshot must not overwrite a newer persisted value.
+
+    Slots charge NVMM access costs ({!Latency}) and events ({!Stats}), and
+    call {!Hooks.yield} at each atomic step so the deterministic scheduler
+    can interleave them. *)
+
+type 'a entry = { v : 'a; ver : int }
+
+type 'a t = {
+  region : Region.t;
+  current : 'a entry Atomic.t;
+  persisted : 'a entry option Atomic.t;
+  lost : bool Atomic.t;
+      (** set when a crash hits a slot that was never persisted: its
+          post-crash content is garbage, and any access is a detected bug *)
+}
+
+let rec persist_monotone t (e : 'a entry) =
+  match Atomic.get t.persisted with
+  | Some p when p.ver >= e.ver -> ()
+  | old ->
+      if not (Atomic.compare_and_set t.persisted old (Some e)) then
+        persist_monotone t e
+
+let make ?(persist = false) region v =
+  let e = { v; ver = 0 } in
+  let t =
+    {
+      region;
+      current = Atomic.make e;
+      persisted = Atomic.make (if persist then Some e else None);
+      lost = Atomic.make false;
+    }
+  in
+  Region.register_slot region (fun ~persist_first ->
+      if persist_first then persist_monotone t (Atomic.get t.current);
+      match Atomic.get t.persisted with
+      | Some p -> Atomic.set t.current p
+      | None -> Atomic.set t.lost true);
+  t
+
+let check t =
+  Region.check_up t.region;
+  if Atomic.get t.lost then
+    invalid_arg
+      "Mirror_nvm.Slot: reading a slot whose content was lost in a crash \
+       (never persisted): the recovery procedure reached unrecoverable data"
+
+(** Load from NVMM (paying the 3x-DRAM read cost). *)
+let load t =
+  Hooks.yield ();
+  check t;
+  let s = Stats.get () in
+  s.Stats.nvm_read <- s.Stats.nvm_read + 1;
+  Latency.nvm_read ();
+  (Atomic.get t.current).v
+
+(** Unconditional store.  Versions stay monotone under concurrency. *)
+let store t v =
+  Hooks.yield ();
+  check t;
+  let s = Stats.get () in
+  s.Stats.nvm_write <- s.Stats.nvm_write + 1;
+  Latency.nvm_write ();
+  let rec go () =
+    let cur = Atomic.get t.current in
+    let e = { v; ver = cur.ver + 1 } in
+    if Atomic.compare_and_set t.current cur e then
+      Region.maybe_evict t.region (fun () -> persist_monotone t e)
+    else go ()
+  in
+  go ()
+
+(** Compare-and-swap where the caller decides equality via [expect] (physical
+    equality for pointers, content equality for Mirror's double-word cells).
+    Returns [(success, witnessed_value)] — like [cmpxchg], the witness is the
+    value that was in memory when the instruction executed. *)
+let cas_pred t ~(expect : 'a -> bool) ~(desired : 'a) : bool * 'a =
+  Hooks.yield ();
+  check t;
+  let s = Stats.get () in
+  s.Stats.nvm_cas <- s.Stats.nvm_cas + 1;
+  Latency.nvm_write ();
+  let rec go () =
+    let cur = Atomic.get t.current in
+    if expect cur.v then begin
+      let e = { v = desired; ver = cur.ver + 1 } in
+      if Atomic.compare_and_set t.current cur e then begin
+        Region.maybe_evict t.region (fun () -> persist_monotone t e);
+        (true, cur.v)
+      end
+      else go ()
+    end
+    else (false, cur.v)
+  in
+  go ()
+
+(** Plain pointer-equality CAS. *)
+let cas t ~expected ~desired =
+  fst (cas_pred t ~expect:(fun v -> v == expected) ~desired)
+
+(** [clwb]: record a write-back of the line's current content.  The value is
+    guaranteed persistent only once a subsequent {!Region.fence} completes,
+    but may reach the media spontaneously before that. *)
+let flush t =
+  Hooks.yield ();
+  check t;
+  let s = Stats.get () in
+  s.Stats.flush <- s.Stats.flush + 1;
+  Latency.flush ();
+  let snapshot = Atomic.get t.current in
+  Region.add_pending t.region (fun () -> persist_monotone t snapshot)
+
+(** Whether the cache line holds data newer than what is guaranteed
+    persistent — the check behind Zuriel et al.'s elimination of repeated
+    redundant persisting operations.  Free of charge (it models a volatile
+    per-node flag, not an NVMM access). *)
+let is_dirty t =
+  match Atomic.get t.persisted with
+  | None -> true
+  | Some p -> p.ver < (Atomic.get t.current).ver
+
+(** Recovery write: store + immediate durability, usable while the region
+    is down (the recovery procedure is the only code running, and it
+    persists everything it writes before normal operation resumes).  Also
+    heals a lost slot by overwriting its garbage. *)
+let recover_store t v =
+  let cur = Atomic.get t.current in
+  let e = { v; ver = cur.ver + 1 } in
+  Atomic.set t.current e;
+  Atomic.set t.persisted (Some e);
+  Atomic.set t.lost false
+
+(** Test/recovery introspection: what would survive a crash right now
+    (assuming pending write-backs are lost). *)
+let persisted_value t = Option.map (fun e -> e.v) (Atomic.get t.persisted)
+
+(** The coherent (cache) view, without charging costs — test-only. *)
+let peek t = (Atomic.get t.current).v
+
+let is_lost t = Atomic.get t.lost
+let region t = t.region

@@ -1,0 +1,53 @@
+(** One (double-)word of simulated persistent memory, together with its
+    cache-line state.
+
+    A slot distinguishes the coherent view every processor sees ([current])
+    from what is guaranteed to survive a crash ([persisted]).  Writes dirty
+    the line; {!flush} records a write-back that {!Region.fence} commits;
+    a {!Region.crash} discards everything not committed (modulo the crash
+    policy's eviction probability).  All accesses charge {!Stats} events and
+    {!Latency} costs, and yield to the deterministic scheduler. *)
+
+type 'a t
+
+val make : ?persist:bool -> Region.t -> 'a -> 'a t
+(** Fresh slot holding [v].  [persist] (default [false]) marks the initial
+    value as already durable — allocation-time persistence. *)
+
+val load : 'a t -> 'a
+(** Load from NVMM, paying the NVMM read cost. *)
+
+val store : 'a t -> 'a -> unit
+(** Unconditional store (cache only until flushed). *)
+
+val cas : 'a t -> expected:'a -> desired:'a -> bool
+(** Pointer-equality compare-and-swap. *)
+
+val cas_pred : 'a t -> expect:('a -> bool) -> desired:'a -> bool * 'a
+(** CAS with caller-defined equality (content comparison for Mirror's
+    double-word cells).  Returns [(success, witnessed_value)]. *)
+
+val flush : 'a t -> unit
+(** [clwb]: record a write-back of the line's current content; guaranteed
+    durable only after the next {!Region.fence}, possibly earlier. *)
+
+val is_dirty : 'a t -> bool
+(** Whether the line holds data newer than the persisted state — the check
+    behind Zuriel et al.'s redundant-persist elimination.  Free of charge. *)
+
+val recover_store : 'a t -> 'a -> unit
+(** Store + immediate durability, usable while the region is down — for
+    recovery procedures that rewrite persistent state (e.g. redo-log
+    replay).  Heals lost slots. *)
+
+val persisted_value : 'a t -> 'a option
+(** What would survive a crash right now ([None]: nothing ever persisted). *)
+
+val peek : 'a t -> 'a
+(** The coherent view without cost accounting — tests and recovery only. *)
+
+val is_lost : 'a t -> bool
+(** True after a crash hit this slot before anything was persisted; any
+    subsequent access is a detected use-of-garbage bug. *)
+
+val region : 'a t -> Region.t

@@ -1,0 +1,102 @@
+(** Per-domain event counters.
+
+    The benchmark figures in the paper are driven by how many NVMM accesses,
+    cache-line flushes and store fences each algorithm performs per operation.
+    We count those events exactly.  Each domain owns a private counter record
+    (no cross-domain contention on the hot path); a global registry lets the
+    harness sum and reset counters across domains. *)
+
+type t = {
+  mutable dram_read : int;
+  mutable dram_write : int;
+  mutable dram_cas : int;
+  mutable nvm_read : int;
+  mutable nvm_write : int;
+  mutable nvm_cas : int;
+  mutable flush : int;
+  mutable fence : int;
+  mutable help : int;  (** Mirror helping-path executions *)
+  mutable cas_retry : int;  (** protocol-level retries *)
+  mutable alloc : int;
+  mutable reclaim : int;  (** nodes handed back by the EBR *)
+}
+
+let zero () =
+  {
+    dram_read = 0;
+    dram_write = 0;
+    dram_cas = 0;
+    nvm_read = 0;
+    nvm_write = 0;
+    nvm_cas = 0;
+    flush = 0;
+    fence = 0;
+    help = 0;
+    cas_retry = 0;
+    alloc = 0;
+    reclaim = 0;
+  }
+
+let add ~into:a b =
+  a.dram_read <- a.dram_read + b.dram_read;
+  a.dram_write <- a.dram_write + b.dram_write;
+  a.dram_cas <- a.dram_cas + b.dram_cas;
+  a.nvm_read <- a.nvm_read + b.nvm_read;
+  a.nvm_write <- a.nvm_write + b.nvm_write;
+  a.nvm_cas <- a.nvm_cas + b.nvm_cas;
+  a.flush <- a.flush + b.flush;
+  a.fence <- a.fence + b.fence;
+  a.help <- a.help + b.help;
+  a.cas_retry <- a.cas_retry + b.cas_retry;
+  a.alloc <- a.alloc + b.alloc;
+  a.reclaim <- a.reclaim + b.reclaim
+
+let clear t =
+  t.dram_read <- 0;
+  t.dram_write <- 0;
+  t.dram_cas <- 0;
+  t.nvm_read <- 0;
+  t.nvm_write <- 0;
+  t.nvm_cas <- 0;
+  t.flush <- 0;
+  t.fence <- 0;
+  t.help <- 0;
+  t.cas_retry <- 0;
+  t.alloc <- 0;
+  t.reclaim <- 0
+
+(* Registry of every per-domain recorder ever created.  Protected by a mutex;
+   only touched on domain startup and when the harness collects. *)
+let registry : t list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let key : t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t = zero () in
+      Mutex.lock registry_mutex;
+      registry := t :: !registry;
+      Mutex.unlock registry_mutex;
+      t)
+
+(** The calling domain's counter record. *)
+let get () = Domain.DLS.get key
+
+(** Sum of all domains' counters since the last {!reset_all}. *)
+let total () =
+  let acc = zero () in
+  Mutex.lock registry_mutex;
+  List.iter (fun t -> add ~into:acc t) !registry;
+  Mutex.unlock registry_mutex;
+  acc
+
+let reset_all () =
+  Mutex.lock registry_mutex;
+  List.iter clear !registry;
+  Mutex.unlock registry_mutex
+
+let pp ppf t =
+  Format.fprintf ppf
+    "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d) flush=%d fence=%d help=%d \
+     retry=%d alloc=%d reclaim=%d"
+    t.dram_read t.dram_write t.dram_cas t.nvm_read t.nvm_write t.nvm_cas
+    t.flush t.fence t.help t.cas_retry t.alloc t.reclaim

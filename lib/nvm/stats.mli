@@ -1,0 +1,32 @@
+(** Per-domain event counters: NVMM reads/writes, flushes, fences, helping,
+    retries, allocations.  These exact counts drive the paper's figures.
+    Each domain owns a private record (no hot-path contention); the harness
+    sums over a global registry. *)
+
+type t = {
+  mutable dram_read : int;
+  mutable dram_write : int;
+  mutable dram_cas : int;
+  mutable nvm_read : int;
+  mutable nvm_write : int;
+  mutable nvm_cas : int;
+  mutable flush : int;
+  mutable fence : int;
+  mutable help : int;
+  mutable cas_retry : int;
+  mutable alloc : int;
+  mutable reclaim : int;
+}
+
+val zero : unit -> t
+val add : into:t -> t -> unit
+val clear : t -> unit
+
+val get : unit -> t
+(** The calling domain's counter record. *)
+
+val total : unit -> t
+(** Sum over all domains since the last {!reset_all}. *)
+
+val reset_all : unit -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,207 @@
+(** A raw word-addressed persistent heap: the §4.3 substrate made concrete.
+
+    Where the rest of the repository models persistent objects as OCaml
+    records of slots, this module is the low-level story the paper actually
+    tells about its allocator:
+
+    - memory is a flat array of NVMM words; *pointers are offsets*, so the
+      mapping base address is irrelevant (the paper's address-translation
+      argument — see {!remap});
+    - allocation metadata (bump pointer, size-class free lists) is
+      volatile-only and is *reconstructed* after a crash by an offline
+      mark–sweep over the persistent roots (§4.3, "re-constructs all the
+      auxiliary data, and executes an offline GC");
+    - every object carries a one-word header holding its size class,
+      flushed at allocation time, so the sweep can parse the heap linearly
+      even after a crash.
+
+    Blocks are never split or coalesced (size-class slabs, as in ssmem), so
+    headers are stable across reuse and the linear parse is always sound. *)
+
+open Mirror_nvm
+
+let num_roots = 16
+let classes = [| 2; 4; 8; 16; 32; 64 |]
+
+type t = {
+  words : int Slot.t array;
+  roots : int Slot.t array;  (** persistent root offsets; 0 = null *)
+  region : Region.t;
+  capacity : int;
+  (* volatile allocator metadata — lost in a crash, rebuilt by recovery *)
+  mutable bump : int;
+  free_lists : int list array;  (** per size class *)
+  lock : bool Atomic.t;
+      (** allocator lock; a cooperative spinlock so logical schedsim threads
+          can contend on it without deadlocking one OS thread *)
+  mutable live_objects : int;  (** statistic maintained by alloc/free/recover *)
+}
+
+exception Out_of_memory
+
+let create ?(words = 1 lsl 16) region =
+  {
+    (* word 0 is reserved so that offset 0 can mean null *)
+    words = Array.init words (fun _ -> Slot.make ~persist:true region 0);
+    roots = Array.init num_roots (fun _ -> Slot.make ~persist:true region 0);
+    region;
+    capacity = words;
+    bump = 1;
+    free_lists = Array.map (fun _ -> []) classes;
+    lock = Atomic.make false;
+    live_objects = 0;
+  }
+
+let rec lock t =
+  if not (Atomic.compare_and_set t.lock false true) then begin
+    Hooks.yield ();
+    Domain.cpu_relax ();
+    lock t
+  end
+
+let unlock t = Atomic.set t.lock false
+
+let class_of_size size =
+  let rec go i =
+    if i >= Array.length classes then invalid_arg "Heap.alloc: object too large"
+    else if classes.(i) >= size then i
+    else go (i + 1)
+  in
+  go 0
+
+(* -- word accesses (cost-charged through Slot) ------------------------------ *)
+
+let get t off = Slot.load t.words.(off)
+
+(** Cost-free read of the coherent view — recovery and tests only. *)
+let peek t off = Slot.peek t.words.(off)
+let set t off v = Slot.store t.words.(off) v
+let cas t off ~expected ~desired = Slot.cas t.words.(off) ~expected ~desired
+let flush t off = Slot.flush t.words.(off)
+let fence t = Region.fence t.region
+
+let root_get t i = Slot.load t.roots.(i)
+
+let root_set t i v =
+  Slot.store t.roots.(i) v;
+  Slot.flush t.roots.(i);
+  Region.fence t.region
+
+(* -- allocation --------------------------------------------------------------- *)
+
+(** Allocate a block of at least [size] words; returns the payload offset.
+    The header (at [offset - 1]) is persisted before the block is handed
+    out, so a post-crash linear parse of the heap never sees a torn header. *)
+let alloc t size =
+  let cls = class_of_size size in
+  let block = classes.(cls) in
+  lock t;
+  let payload =
+    match t.free_lists.(cls) with
+    | off :: rest ->
+        t.free_lists.(cls) <- rest;
+        off (* header already in place from the first allocation *)
+    | [] ->
+        if t.bump + block + 1 > t.capacity then begin
+          unlock t;
+          raise Out_of_memory
+        end;
+        let header = t.bump in
+        t.bump <- t.bump + block + 1;
+        Slot.store t.words.(header) (cls + 1)
+        (* class tag; 0 = never allocated *);
+        Slot.flush t.words.(header);
+        Region.fence t.region;
+        header + 1
+  in
+  t.live_objects <- t.live_objects + 1;
+  unlock t;
+  let s = Stats.get () in
+  s.Stats.alloc <- s.Stats.alloc + 1;
+  payload
+
+let free t payload =
+  lock t;
+  let cls = Slot.peek t.words.(payload - 1) - 1 in
+  if cls < 0 then begin
+    unlock t;
+    invalid_arg "Heap.free: not an allocated block"
+  end;
+  t.free_lists.(cls) <- payload :: t.free_lists.(cls);
+  t.live_objects <- t.live_objects - 1;
+  unlock t
+
+(* -- recovery: offline mark-sweep -------------------------------------------- *)
+
+(** Rebuild the volatile allocator metadata after a crash.  [trace] receives
+    a live payload offset and returns the payload offsets it points to
+    (decode your own pointer encoding before returning them; 0s are
+    ignored).  Everything unreachable from the persistent roots is swept
+    onto the free lists — the paper's offline GC. *)
+let recover t ~(trace : int -> int list) =
+  lock t;
+  (* reset the cache view of every word to its persisted content happens in
+     Region.crash; here we only rebuild metadata *)
+  let marked = Hashtbl.create 256 in
+  let rec mark off =
+    if off <> 0 && not (Hashtbl.mem marked off) then begin
+      Hashtbl.replace marked off ();
+      List.iter mark (trace off)
+    end
+  in
+  Array.iter (fun r -> mark (Slot.peek r)) t.roots;
+  (* linear parse by headers to find the heap end and sweep dead blocks *)
+  Array.iteri (fun i _ -> t.free_lists.(i) <- []) classes;
+  t.live_objects <- 0;
+  let pos = ref 1 in
+  let continue_ = ref true in
+  while !continue_ && !pos < t.capacity do
+    let tag = Slot.peek t.words.(!pos) in
+    if tag = 0 then continue_ := false (* untouched heap from here on *)
+    else begin
+      let cls = tag - 1 in
+      let payload = !pos + 1 in
+      if Hashtbl.mem marked payload then t.live_objects <- t.live_objects + 1
+      else t.free_lists.(cls) <- payload :: t.free_lists.(cls);
+      pos := !pos + classes.(cls) + 1
+    end
+  done;
+  t.bump <- !pos;
+  unlock t
+
+(** The paper's address-translation claim, executable: because pointers are
+    offsets, the heap content can be copied to a fresh mapping (a new base
+    address after a reboot) and every reference stays valid.  Returns a new
+    heap backed by fresh slots holding the same persisted content. *)
+let remap t =
+  let fresh =
+    {
+      words =
+        Array.map
+          (fun w ->
+            Slot.make ~persist:true t.region
+              (Option.value ~default:0 (Slot.persisted_value w)))
+          t.words;
+      roots =
+        Array.map
+          (fun r ->
+            Slot.make ~persist:true t.region
+              (Option.value ~default:0 (Slot.persisted_value r)))
+          t.roots;
+      region = t.region;
+      capacity = t.capacity;
+      bump = t.bump;
+      free_lists = Array.copy t.free_lists;
+      lock = Atomic.make false;
+      live_objects = t.live_objects;
+    }
+  in
+  fresh
+
+(* -- statistics ---------------------------------------------------------------- *)
+
+let live_objects t = t.live_objects
+let words_used t = t.bump
+
+let free_list_sizes t =
+  Array.to_list (Array.map List.length t.free_lists)

@@ -1,0 +1,59 @@
+(** A raw word-addressed persistent heap: §4.3 made concrete.
+
+    Memory is a flat array of NVMM words; pointers are offsets (0 = null),
+    so the mapping base address is irrelevant ({!remap}).  Allocation
+    metadata (bump pointer, size-class free lists) is volatile-only and
+    reconstructed after a crash by an offline mark–sweep from the
+    persistent roots.  Object headers (one word, the size class) are
+    persisted at allocation so the sweep can parse the heap linearly; slab
+    classes are never split, so headers are stable across reuse. *)
+
+type t
+
+exception Out_of_memory
+
+val create : ?words:int -> Mirror_nvm.Region.t -> t
+
+(** {1 Word accesses} (cost-charged through {!Mirror_nvm.Slot}) *)
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val cas : t -> int -> expected:int -> desired:int -> bool
+val flush : t -> int -> unit
+val fence : t -> unit
+
+val peek : t -> int -> int
+(** Cost-free read of the coherent view — recovery and tests only. *)
+
+(** {1 Persistent roots} *)
+
+val root_get : t -> int -> int
+val root_set : t -> int -> int -> unit
+(** Durable immediately (flush + fence). *)
+
+(** {1 Allocation} *)
+
+val alloc : t -> int -> int
+(** [alloc t size] returns the payload offset of a block of at least
+    [size] words.  The header is persisted before the block is handed out.
+    @raise Out_of_memory when the bump region is exhausted. *)
+
+val free : t -> int -> unit
+(** Return a block to its size-class free list (volatile metadata). *)
+
+(** {1 Recovery} *)
+
+val recover : t -> trace:(int -> int list) -> unit
+(** Offline mark–sweep: [trace payload] returns the payload offsets the
+    object points to (0s ignored).  Rebuilds bump pointer, free lists and
+    the live-object count. *)
+
+val remap : t -> t
+(** The address-translation argument, executable: copy the persisted
+    content to a fresh mapping; offsets keep every pointer valid. *)
+
+(** {1 Statistics} *)
+
+val live_objects : t -> int
+val words_used : t -> int
+val free_list_sizes : t -> int list

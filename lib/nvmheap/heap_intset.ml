@@ -1,0 +1,168 @@
+(** A durable lock-free intset (Harris list) encoded directly in the raw
+    persistent heap — nodes are word blocks, pointers are offsets, the mark
+    bit lives in the low bit of the next word exactly as in the original
+    C code.  Exercises {!Heap}'s allocator, persistent roots, offline
+    mark–sweep recovery and offset-based address translation end to end.
+
+    Node layout (size class 2): [payload+0] = key, [payload+1] = next,
+    where next = (successor payload offset) lsl 1 lor mark, 0 = null.
+
+    Persistence discipline: writers flush + fence their destination words
+    before returning; readers flush the words their answer depends on
+    (the Izraelevitz/NVTraverse read rule) — reads here go straight to
+    NVMM, there is no DRAM replica in this substrate. *)
+
+type t = {
+  heap : Heap.t;
+  root : int;  (** persistent root index holding the head node offset *)
+  ebr : Mirror_core.Ebr.t;
+}
+
+let enc off mark = (off lsl 1) lor (if mark then 1 else 0)
+let dec_off e = e lsr 1
+let dec_mark e = e land 1 = 1
+
+let create ?(root = 0) heap =
+  let head = Heap.alloc heap 2 in
+  Heap.set heap head min_int;
+  Heap.set heap (head + 1) 0;
+  Heap.flush heap head;
+  Heap.flush heap (head + 1);
+  Heap.fence heap;
+  Heap.root_set heap root head;
+  { heap; root; ebr = Mirror_core.Ebr.create () }
+
+(** Re-attach to an existing heap after a crash or remap. *)
+let attach ?(root = 0) heap = { heap; root; ebr = Mirror_core.Ebr.create () }
+
+let head t = Heap.root_get t.heap t.root
+
+(* find: returns (pred_payload, link read at pred.next, curr_payload or 0),
+   unlinking marked nodes on the way *)
+let rec find t k =
+  let h = head t in
+  let rec walk pred pred_link =
+    let curr = dec_off pred_link in
+    if curr = 0 then (pred, pred_link, 0)
+    else
+      let curr_key = Heap.get t.heap curr in
+      let curr_link = Heap.get t.heap (curr + 1) in
+      if dec_mark curr_link then begin
+        (* unlink the marked node *)
+        let repl = enc (dec_off curr_link) false in
+        if Heap.cas t.heap (pred + 1) ~expected:pred_link ~desired:repl then begin
+          Heap.flush t.heap (pred + 1);
+          Heap.fence t.heap;
+          Mirror_core.Ebr.retire t.ebr (fun () -> Heap.free t.heap curr);
+          walk pred repl
+        end
+        else find t k
+      end
+      else if curr_key >= k then (pred, pred_link, curr)
+      else walk curr curr_link
+  in
+  walk h (Heap.get t.heap (h + 1))
+
+let contains t k =
+  Mirror_core.Ebr.enter t.ebr;
+  let pred, _, curr = find t k in
+  let r =
+    if curr = 0 then false
+    else begin
+      (* persist what the answer depends on before exposing it *)
+      Heap.flush t.heap (pred + 1);
+      Heap.flush t.heap (curr + 1);
+      Heap.fence t.heap;
+      Heap.get t.heap curr = k
+    end
+  in
+  Mirror_core.Ebr.exit t.ebr;
+  r
+
+let insert t k =
+  Mirror_core.Ebr.enter t.ebr;
+  let rec attempt () =
+    let pred, pred_link, curr = find t k in
+    if curr <> 0 && Heap.get t.heap curr = k then begin
+      Heap.flush t.heap (pred + 1);
+      Heap.fence t.heap;
+      false
+    end
+    else begin
+      let node = Heap.alloc t.heap 2 in
+      Heap.set t.heap node k;
+      Heap.set t.heap (node + 1) pred_link;
+      (* persist the node content before it becomes reachable *)
+      Heap.flush t.heap node;
+      Heap.flush t.heap (node + 1);
+      Heap.fence t.heap;
+      if Heap.cas t.heap (pred + 1) ~expected:pred_link ~desired:(enc node false)
+      then begin
+        Heap.flush t.heap (pred + 1);
+        Heap.fence t.heap;
+        true
+      end
+      else begin
+        Heap.free t.heap node (* never published: immediate reuse is safe *);
+        attempt ()
+      end
+    end
+  in
+  let r = attempt () in
+  Mirror_core.Ebr.exit t.ebr;
+  r
+
+let remove t k =
+  Mirror_core.Ebr.enter t.ebr;
+  let rec attempt () =
+    let pred, pred_link, curr = find t k in
+    if curr = 0 || Heap.get t.heap curr <> k then false
+    else begin
+      let curr_link = Heap.get t.heap (curr + 1) in
+      if dec_mark curr_link then attempt ()
+      else if
+        Heap.cas t.heap (curr + 1) ~expected:curr_link
+          ~desired:(enc (dec_off curr_link) true)
+      then begin
+        (* the logical (and durable, after the fence) deletion *)
+        Heap.flush t.heap (curr + 1);
+        Heap.fence t.heap;
+        (* best-effort physical unlink *)
+        (if
+           Heap.cas t.heap (pred + 1) ~expected:pred_link
+             ~desired:(enc (dec_off curr_link) false)
+         then begin
+           Heap.flush t.heap (pred + 1);
+           Heap.fence t.heap;
+           Mirror_core.Ebr.retire t.ebr (fun () -> Heap.free t.heap curr)
+         end);
+        true
+      end
+      else attempt ()
+    end
+  in
+  let r = attempt () in
+  Mirror_core.Ebr.exit t.ebr;
+  r
+
+let to_list t =
+  let rec go acc link =
+    let off = dec_off link in
+    if off = 0 then List.rev acc
+    else
+      let next = Heap.peek t.heap (off + 1) in
+      let acc =
+        if dec_mark next then acc else Heap.peek t.heap off :: acc
+      in
+      go acc next
+  in
+  go [] (Heap.peek t.heap (head t + 1))
+
+(* -- recovery ------------------------------------------------------------------ *)
+
+(* The tracing routine the paper requires: outgoing pointers of a node. *)
+let trace heap payload = [ dec_off (Heap.peek heap (payload + 1)) ]
+
+(** Offline mark–sweep from the persistent roots: rebuilds the allocator's
+    volatile metadata and reclaims unreachable blocks (§4.3.3). *)
+let recover t = Heap.recover t.heap ~trace:(trace t.heap)

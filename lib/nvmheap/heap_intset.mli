@@ -1,0 +1,25 @@
+(** A durable lock-free intset (Harris list) encoded directly in the raw
+    persistent heap: word blocks as nodes, offsets as pointers, the mark
+    bit in the low bit of the next word.  Writers flush + fence their
+    destination before returning; readers flush what their answer depends
+    on.  Recovery is the heap's offline mark–sweep with this structure's
+    tracing routine. *)
+
+type t
+
+val create : ?root:int -> Heap.t -> t
+(** Allocate the sentinel head and store it in persistent root [root]
+    (default 0). *)
+
+val attach : ?root:int -> Heap.t -> t
+(** Re-attach to an existing heap (after a crash or {!Heap.remap}). *)
+
+val insert : t -> int -> bool
+val remove : t -> int -> bool
+val contains : t -> int -> bool
+
+val to_list : t -> int list
+(** Quiesced inspection. *)
+
+val recover : t -> unit
+(** Run the offline mark–sweep from this set's root. *)

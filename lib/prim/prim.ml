@@ -1,0 +1,314 @@
+(** Atomic-field primitives: one signature, six persistence strategies.
+
+    Every lock-free data structure in this repository is a functor over
+    {!S}.  Instantiating it with a different primitive yields the exact
+    algorithm variants the paper evaluates:
+
+    - {!Volatile_dram} — the original, non-persistent structure in DRAM;
+    - {!Volatile_nvmm} — the original structure running from NVMM (no
+      flushes: not crash-consistent; the paper's "OriginalNVMM" lines);
+    - {!Izraelevitz} — Izraelevitz et al.'s general transformation: flush +
+      fence after every shared load, fence before / flush after every store;
+    - {!Nvtraverse} — the NVTraverse transformation: loads in the traversal
+      phase are free; loads and writes at the operation's destination are
+      persisted (the data structures mark the phase by calling [load_t]
+      vs [load]);
+    - {!Mirror_dram} — the paper's contribution, volatile replica in DRAM;
+    - {!Mirror_nvmm} — Mirror with both replicas at NVMM cost (§6.3).
+
+    Value comparison in [cas] is physical equality — the same semantics as a
+    hardware CAS on a word: store immediates (ints, constant constructors)
+    or compare heap values by identity. *)
+
+open Mirror_nvm
+
+module type S = sig
+  val name : string
+  val region : Region.t
+
+  type 'a t
+
+  val make : 'a -> 'a t
+  (** Allocate a field of a freshly allocated object (persisted at
+      allocation time where the strategy requires it). *)
+
+  val load : 'a t -> 'a
+  (** Load in the critical phase of an operation (at its destination). *)
+
+  val load_t : 'a t -> 'a
+  (** Load during the read-only traversal phase. *)
+
+  val store : 'a t -> 'a -> unit
+  val cas : 'a t -> expected:'a -> desired:'a -> bool
+  val fetch_add : int t -> int -> int
+
+  val persist : 'a t -> unit
+  (** Make this field durable before a critical write ([NVTraverse]'s
+      flush-the-destination step; the fence is batched with the write's).
+      No-op for strategies that persist eagerly or keep a mirror. *)
+
+  val recover : 'a t -> unit
+  (** Restore volatile state from persistent state after a crash (no-op for
+      strategies that keep no volatile replica). *)
+
+  val load_recovery : 'a t -> 'a
+  (** Read from the persistent space during recovery, before the region is
+      re-opened. *)
+end
+
+type pack = (module S)
+
+module type REGION = sig
+  val region : Region.t
+end
+
+(* Charge the allocation-time copy-to-NVMM + clwb of one field, as
+   Patomic.make does, so all persistent strategies are costed alike. *)
+let charge_alloc_field () =
+  let s = Stats.get () in
+  s.Stats.nvm_write <- s.Stats.nvm_write + 1;
+  s.Stats.flush <- s.Stats.flush + 1
+
+(* fetch_add on top of the instance's own load/cas. *)
+module Faa (P : sig
+  type 'a t
+
+  val load : 'a t -> 'a
+  val cas : 'a t -> expected:'a -> desired:'a -> bool
+end) =
+struct
+  let rec fetch_add (t : int P.t) d =
+    let cur = P.load t in
+    if P.cas t ~expected:cur ~desired:(cur + d) then cur
+    else fetch_add t d
+end
+
+(* -- Original (non-persistent), DRAM ------------------------------------- *)
+
+module Volatile_dram (R : REGION) : S = struct
+  let name = "orig-dram"
+  let region = R.region
+
+  type 'a t = 'a Atomic.t
+
+  let make v = Atomic.make v
+
+  let load t =
+    Hooks.yield ();
+    let s = Stats.get () in
+    s.Stats.dram_read <- s.Stats.dram_read + 1;
+    Latency.dram_read ();
+    Atomic.get t
+
+  let load_t = load
+
+  let store t v =
+    Hooks.yield ();
+    let s = Stats.get () in
+    s.Stats.dram_write <- s.Stats.dram_write + 1;
+    Atomic.set t v
+
+  let cas t ~expected ~desired =
+    Hooks.yield ();
+    let s = Stats.get () in
+    s.Stats.dram_cas <- s.Stats.dram_cas + 1;
+    Atomic.compare_and_set t expected desired
+
+  include Faa (struct
+    type nonrec 'a t = 'a t
+
+    let load = load
+    let cas = cas
+  end)
+
+  let persist _ = ()
+  let recover _ = ()
+  let load_recovery t = Atomic.get t
+end
+
+(* -- Original (non-persistent), NVMM ------------------------------------- *)
+
+module Volatile_nvmm (R : REGION) : S = struct
+  let name = "orig-nvmm"
+  let region = R.region
+
+  type 'a t = 'a Slot.t
+
+  (* The prefilled structure starts persisted, but runtime writes are never
+     flushed: this variant is *not* crash-consistent (it is the paper's
+     non-durable baseline running from NVMM, and our negative control). *)
+  let make v = Slot.make ~persist:true region v
+  let load t = Slot.load t
+  let load_t = load
+  let store t v = Slot.store t v
+  let cas t ~expected ~desired = Slot.cas t ~expected ~desired
+
+  include Faa (struct
+    type nonrec 'a t = 'a t
+
+    let load = load
+    let cas = cas
+  end)
+
+  let persist _ = ()
+  let recover _ = ()
+  let load_recovery t = Slot.peek t
+end
+
+(* -- Izraelevitz et al. --------------------------------------------------- *)
+
+module Izraelevitz (R : REGION) : S = struct
+  let name = "izraelevitz"
+  let region = R.region
+
+  type 'a t = 'a Slot.t
+
+  let make v =
+    charge_alloc_field ();
+    Slot.make ~persist:true region v
+
+  (* read: load; flush; fence *)
+  let load t =
+    let v = Slot.load t in
+    Slot.flush t;
+    Region.fence region;
+    v
+
+  let load_t = load
+
+  (* write: fence; store; flush; fence — the trailing fence makes the write
+     durable before the operation can respond (without it a completed
+     update could be lost, violating durable linearizability; our crash
+     tests catch exactly that) *)
+  let store t v =
+    Region.fence region;
+    Slot.store t v;
+    Slot.flush t;
+    Region.fence region
+
+  let cas t ~expected ~desired =
+    Region.fence region;
+    let ok = Slot.cas t ~expected ~desired in
+    Slot.flush t;
+    Region.fence region;
+    ok
+
+  include Faa (struct
+    type nonrec 'a t = 'a t
+
+    let load = load
+    let cas = cas
+  end)
+
+  let persist _ = ()
+  let recover _ = ()
+  let load_recovery t = Slot.peek t
+end
+
+(* -- NVTraverse ----------------------------------------------------------- *)
+
+module Nvtraverse (R : REGION) : S = struct
+  let name = "nvtraverse"
+  let region = R.region
+
+  type 'a t = 'a Slot.t
+
+  let make v =
+    charge_alloc_field ();
+    Slot.make ~persist:true region v
+
+  (* traversal loads are free — the transformation's whole point *)
+  let load_t t = Slot.load t
+
+  (* critical (destination) loads are persisted before the operation's
+     result may be exposed *)
+  let load t =
+    let v = Slot.load t in
+    Slot.flush t;
+    Region.fence region;
+    v
+
+  let store t v =
+    Region.fence region;
+    Slot.store t v;
+    Slot.flush t;
+    Region.fence region
+
+  let cas t ~expected ~desired =
+    Region.fence region;
+    let ok = Slot.cas t ~expected ~desired in
+    Slot.flush t;
+    Region.fence region;
+    ok
+
+  include Faa (struct
+    type nonrec 'a t = 'a t
+
+    let load = load
+    let cas = cas
+  end)
+
+  (* flush-the-destination: the fence comes from the critical write *)
+  let persist t = Slot.flush t
+  let recover _ = ()
+  let load_recovery t = Slot.peek t
+end
+
+(* -- Mirror ---------------------------------------------------------------- *)
+
+module Make_mirror (C : sig
+  include REGION
+
+  val placement : Mirror_core.Patomic.placement
+  val name : string
+end) : S = struct
+  let name = C.name
+  let region = C.region
+
+  type 'a t = 'a Mirror_core.Patomic.t
+
+  let make v =
+    Mirror_core.Patomic.make ~placement:C.placement ~persist:true region v
+
+  let load t = Mirror_core.Patomic.load t
+  let load_t = load
+  let store t v = Mirror_core.Patomic.store t v
+  let cas t ~expected ~desired = Mirror_core.Patomic.cas t ~expected ~desired
+  let fetch_add t d = Mirror_core.Patomic.fetch_add t d
+  let persist _ = ()
+  let recover t = Mirror_core.Patomic.recover t
+  let load_recovery t = Mirror_core.Patomic.load_recovery t
+end
+
+module Mirror_dram (R : REGION) : S = Make_mirror (struct
+  let region = R.region
+  let placement = Mirror_core.Patomic.Dram
+  let name = "mirror"
+end)
+
+module Mirror_nvmm (R : REGION) : S = Make_mirror (struct
+  let region = R.region
+  let placement = Mirror_core.Patomic.Nvmm
+  let name = "mirror-nvmm"
+end)
+
+(** All six strategies over a region, for harness enumeration. *)
+let all_for (region : Region.t) : pack list =
+  let module R = struct
+    let region = region
+  end in
+  [
+    (module Volatile_dram (R) : S);
+    (module Volatile_nvmm (R) : S);
+    (module Izraelevitz (R) : S);
+    (module Nvtraverse (R) : S);
+    (module Mirror_dram (R) : S);
+    (module Mirror_nvmm (R) : S);
+  ]
+
+let by_name (region : Region.t) (name : string) : pack =
+  match
+    List.find_opt (fun (module P : S) -> P.name = name) (all_for region)
+  with
+  | Some p -> p
+  | None -> invalid_arg ("Prim.by_name: unknown strategy " ^ name)

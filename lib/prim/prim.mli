@@ -1,0 +1,80 @@
+(** Atomic-field primitives: one signature, six persistence strategies.
+
+    Every lock-free data structure in this repository is a functor over
+    {!S}; instantiating it with a different primitive yields the exact
+    algorithm variants the paper evaluates — the original volatile
+    structure (on DRAM or at NVMM cost), the Izraelevitz et al. and
+    NVTraverse general transformations, and Mirror with either placement
+    of its volatile replica.
+
+    [cas] compares values by physical equality — the semantics of a
+    hardware CAS on a word: store immediates or compare heap values by
+    identity (the structures allocate a fresh box per write, which also
+    rules out ABA). *)
+
+module type S = sig
+  val name : string
+  val region : Mirror_nvm.Region.t
+
+  type 'a t
+
+  val make : 'a -> 'a t
+  (** Allocate a field of a freshly allocated object (persisted at
+      allocation time where the strategy requires it). *)
+
+  val load : 'a t -> 'a
+  (** Load in the critical phase of an operation (at its destination). *)
+
+  val load_t : 'a t -> 'a
+  (** Load during the read-only traversal phase (free under NVTraverse). *)
+
+  val store : 'a t -> 'a -> unit
+  val cas : 'a t -> expected:'a -> desired:'a -> bool
+  val fetch_add : int t -> int -> int
+
+  val persist : 'a t -> unit
+  (** Make this field durable before a critical write (NVTraverse's
+      flush-the-destination; no-op for the other strategies). *)
+
+  val recover : 'a t -> unit
+  (** Restore volatile state from persistent state after a crash. *)
+
+  val load_recovery : 'a t -> 'a
+  (** Read from the persistent space during recovery. *)
+end
+
+type pack = (module S)
+
+module type REGION = sig
+  val region : Mirror_nvm.Region.t
+end
+
+module Volatile_dram (_ : REGION) : S
+(** The original, non-persistent structure in DRAM ("OriginalDRAM"). *)
+
+module Volatile_nvmm (_ : REGION) : S
+(** The original structure running from NVMM without flushes — not
+    crash-consistent; the paper's "OriginalNVMM" line and this repo's
+    negative control. *)
+
+module Izraelevitz (_ : REGION) : S
+(** Izraelevitz et al.'s transformation: flush + fence after every shared
+    load; fence before / flush + fence after every store. *)
+
+module Nvtraverse (_ : REGION) : S
+(** The NVTraverse transformation: traversal loads are free; destination
+    loads and writes are persisted. *)
+
+module Mirror_dram (_ : REGION) : S
+(** The paper's contribution, volatile replica in DRAM (§6.2). *)
+
+module Mirror_nvmm (_ : REGION) : S
+(** Mirror with both replicas at NVMM cost (§6.3). *)
+
+val all_for : Mirror_nvm.Region.t -> pack list
+(** All six strategies over one region, for harness enumeration. *)
+
+val by_name : Mirror_nvm.Region.t -> string -> pack
+(** Strategy by name ("orig-dram", "orig-nvmm", "izraelevitz",
+    "nvtraverse", "mirror", "mirror-nvmm").
+    @raise Invalid_argument on unknown names. *)

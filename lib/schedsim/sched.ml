@@ -1,0 +1,237 @@
+(** Deterministic cooperative interleaving scheduler.
+
+    The container has a single core, so racing real domains explores very few
+    interleavings.  Instead, logical threads run as effect-based fibers that
+    yield control at every simulated shared-memory access (via
+    {!Mirror_nvm.Hooks}), and this scheduler decides — randomly from a seed,
+    or exhaustively — which thread performs the next step.  This turns the
+    Mirror protocol's races (helping, the Figure 3 ABA scenario, crashes in
+    the middle of an operation) into reproducible unit tests.
+
+    Continuations are one-shot, so exhaustive exploration re-runs the task
+    set once per schedule; the caller supplies a factory creating fresh state
+    and tasks. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+exception Killed
+(** Raised into live fibers when a simulated crash cuts them off. *)
+
+type runnable =
+  | Start of (unit -> unit)
+  | Resume of (unit, unit) Effect.Deep.continuation
+
+type outcome = {
+  steps : int;  (** scheduling decisions taken *)
+  completed : bool;  (** all tasks ran to completion (no crash cut) *)
+}
+
+(** [run_with_picker ~pick ~max_steps tasks] drives [tasks] to completion or
+    until [max_steps] scheduling points, whichever comes first.  [pick n]
+    chooses which of the [n] currently runnable threads steps next.  When the
+    step budget is hit, all live fibers are discontinued with {!Killed} —
+    i.e. the system "crashes" with those operations cut mid-flight. *)
+let run_with_picker ~(pick : int -> int) ?(max_steps = max_int)
+    (tasks : (unit -> unit) list) : outcome =
+  let runnable : runnable list ref = ref (List.map (fun t -> Start t) tasks) in
+  let steps = ref 0 in
+  let take i =
+    let rec go k acc = function
+      | [] -> assert false
+      | x :: rest ->
+          if k = i then begin
+            runnable := List.rev_append acc rest;
+            x
+          end
+          else go (k + 1) (x :: acc) rest
+    in
+    go 0 [] !runnable
+  in
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> match e with Killed -> () | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  runnable := Resume k :: !runnable)
+          | _ -> None);
+    }
+  in
+  let step r =
+    match r with
+    | Start t -> Effect.Deep.match_with t () handler
+    | Resume k -> Effect.Deep.continue k ()
+  in
+  let yield_hook () = Effect.perform Yield in
+  Mirror_nvm.Hooks.with_yield yield_hook (fun () ->
+      let crashed = ref false in
+      while !runnable <> [] && not !crashed do
+        if !steps >= max_steps then begin
+          crashed := true;
+          (* cut every live fiber where it stands *)
+          List.iter
+            (function
+              | Start _ -> ()
+              | Resume k -> Effect.Deep.discontinue k Killed)
+            !runnable;
+          runnable := []
+        end
+        else begin
+          incr steps;
+          let n = List.length !runnable in
+          let i = pick n in
+          let i = if i < 0 || i >= n then 0 else i in
+          step (take i)
+        end
+      done;
+      { steps = !steps; completed = not !crashed })
+
+(** Random scheduling from a seed. *)
+let run ?(seed = 1) ?max_steps tasks =
+  let rng = Random.State.make [| seed |] in
+  run_with_picker ~pick:(fun n -> Random.State.int rng n) ?max_steps tasks
+
+(** [explore ~seeds factory] runs [factory ()]'s tasks under [seeds]
+    different random schedules; [factory] must create fresh state each time
+    and return [(tasks, check)] where [check] validates the final state. *)
+let explore ?(seeds = 200) (factory : unit -> (unit -> unit) list * (unit -> unit)) =
+  for seed = 1 to seeds do
+    let tasks, check = factory () in
+    let (_ : outcome) = run ~seed tasks in
+    check ()
+  done
+
+(** PCT scheduling (Burckhardt et al., ASPLOS 2010): random distinct thread
+    priorities, always run the highest-priority runnable thread, and lower
+    the running thread's priority at [depth - 1] random change points.
+    For a bug of preemption depth d, a run finds it with probability
+    >= 1/(n * k^(d-1)) — far better than uniform random for deep races.
+
+    Fibers are tagged with their task index so priorities can follow them
+    across preemptions. *)
+let run_pct ?(seed = 1) ?(depth = 3) ?(expected_steps = 2_000)
+    ?(max_steps = max_int) (tasks : (unit -> unit) list) : outcome =
+  let n = List.length tasks in
+  let rng = Random.State.make [| seed |] in
+  (* distinct base priorities: a random permutation of n..1, plus change
+     points that drop the running thread below everything *)
+  let prio = Array.init n (fun i -> float_of_int (i + 1)) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = prio.(i) in
+    prio.(i) <- prio.(j);
+    prio.(j) <- t
+  done;
+  let change_points =
+    Array.init (max 0 (depth - 1)) (fun k ->
+        (* spread the k-th change point over the run *)
+        ignore k;
+        1 + Random.State.int rng (max 1 expected_steps))
+    |> Array.to_list |> List.sort_uniq compare
+  in
+  let next_low = ref 0. in
+  let low () =
+    next_low := !next_low -. 1.;
+    !next_low
+  in
+  let runnable : (int * runnable) list ref =
+    ref (List.mapi (fun i t -> (i, Start t)) tasks)
+  in
+  let steps = ref 0 in
+  let handler_for id : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> match e with Killed -> () | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  runnable := (id, Resume k) :: !runnable)
+          | _ -> None);
+    }
+  in
+  let step id r =
+    match r with
+    | Start t -> Effect.Deep.match_with t () (handler_for id)
+    | Resume k -> Effect.Deep.continue k ()
+  in
+  Mirror_nvm.Hooks.with_yield (fun () -> Effect.perform Yield) (fun () ->
+      let crashed = ref false in
+      while !runnable <> [] && not !crashed do
+        if !steps >= max_steps then begin
+          crashed := true;
+          List.iter
+            (function
+              | _, Start _ -> () | _, Resume k -> Effect.Deep.discontinue k Killed)
+            !runnable;
+          runnable := []
+        end
+        else begin
+          incr steps;
+          (* pick the highest-priority runnable fiber *)
+          let id, r =
+            List.fold_left
+              (fun (bi, br) (i, r) ->
+                if prio.(i) > prio.(bi) then (i, r) else (bi, br))
+              (List.hd !runnable |> fun (i, r) -> (i, r))
+              (List.tl !runnable)
+          in
+          runnable := List.filter (fun (i, _) -> not (i = id)) !runnable;
+          if List.mem !steps change_points then prio.(id) <- low ();
+          step id r
+        end
+      done;
+      { steps = !steps; completed = not !crashed })
+
+(** Bounded-exhaustive exploration: depth-first over the tree of scheduling
+    choices, visiting at most [limit] complete schedules.  Returns the number
+    of schedules explored and whether the tree was exhausted. *)
+let explore_exhaustive ?(limit = 10_000) ?(max_steps = 2_000)
+    (factory : unit -> (unit -> unit) list * (unit -> unit)) : int * bool =
+  (* [prefix] is the choice sequence to replay; beyond it we pick 0 and
+     record the arity at each new decision point. *)
+  let explored = ref 0 in
+  let exhausted = ref false in
+  let prefix : int list ref = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let trace = ref [] (* (choice, arity) in reverse order *) in
+    let remaining = ref !prefix in
+    let pick n =
+      let c =
+        match !remaining with
+        | c :: rest ->
+            remaining := rest;
+            c
+        | [] -> 0
+      in
+      let c = if c >= n then n - 1 else c in
+      trace := (c, n) :: !trace;
+      c
+    in
+    let tasks, check = factory () in
+    let (_ : outcome) = run_with_picker ~pick ~max_steps tasks in
+    check ();
+    incr explored;
+    (* advance to the next schedule in DFS order: increment the deepest
+       choice that still has a sibling, drop everything below it *)
+    let rec advance = function
+      | [] -> None
+      | (c, n) :: above ->
+          if c + 1 < n then Some (List.rev ((c + 1, n) :: above))
+          else advance above
+    in
+    (match advance !trace with
+    | None ->
+        exhausted := true;
+        continue_ := false
+    | Some next -> prefix := List.map fst next);
+    if !explored >= limit then continue_ := false
+  done;
+  (!explored, !exhausted)

@@ -1,0 +1,47 @@
+(** Deterministic cooperative interleaving scheduler.
+
+    Logical threads run as effect-based fibers yielding at every simulated
+    shared-memory access ({!Mirror_nvm.Hooks}); the scheduler chooses who
+    steps next — randomly from a seed, via an explicit picker, or by
+    bounded-exhaustive enumeration of the scheduling tree.  A step budget
+    models a power failure cutting operations mid-flight. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+exception Killed
+(** Raised into live fibers when a crash cuts them off. *)
+
+type outcome = {
+  steps : int;  (** scheduling decisions taken *)
+  completed : bool;  (** all tasks ran to completion (no crash cut) *)
+}
+
+val run_with_picker :
+  pick:(int -> int) -> ?max_steps:int -> (unit -> unit) list -> outcome
+(** [pick n] chooses among the [n] runnable threads. *)
+
+val run : ?seed:int -> ?max_steps:int -> (unit -> unit) list -> outcome
+(** Random scheduling from a seed. *)
+
+val run_pct :
+  ?seed:int ->
+  ?depth:int ->
+  ?expected_steps:int ->
+  ?max_steps:int ->
+  (unit -> unit) list ->
+  outcome
+(** PCT scheduling (Burckhardt et al., ASPLOS 2010): random distinct
+    priorities with [depth - 1] priority-change points — probabilistic
+    guarantees for bugs of bounded preemption depth. *)
+
+val explore :
+  ?seeds:int -> (unit -> (unit -> unit) list * (unit -> unit)) -> unit
+(** Run fresh tasks under many random schedules; the factory returns
+    [(tasks, check)]. *)
+
+val explore_exhaustive :
+  ?limit:int ->
+  ?max_steps:int ->
+  (unit -> (unit -> unit) list * (unit -> unit)) ->
+  int * bool
+(** Depth-first over the scheduling tree; returns [(explored, exhausted)]. *)

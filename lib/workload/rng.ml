@@ -1,0 +1,33 @@
+(** SplitMix64-style deterministic PRNG: fast, splittable (each worker
+    derives an independent stream from its id), identical on every platform.
+    Constants are written through [Int64.to_int] because they exceed
+    OCaml's 63-bit literal range; the truncation to the native tagged int is
+    part of the (deterministic) algorithm here. *)
+
+type t = { mutable state : int }
+
+let golden = Int64.to_int 0x9E3779B97F4A7C15L
+let m1 = Int64.to_int 0xBF58476D1CE4E5B9L
+let m2 = Int64.to_int 0x94D049BB133111EBL
+
+let create seed = { state = seed }
+
+(** An independent stream for worker [i] of a run seeded with [seed]. *)
+let split ~seed i = create ((seed * 0x5DEECE66D) + (i * golden) lor 1)
+
+let next t =
+  t.state <- t.state + golden;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * m1 in
+  let z = (z lxor (z lsr 27)) * m2 in
+  z lxor (z lsr 31)
+
+(** Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (next t land max_int) mod bound
+
+let bool t = next t land 1 = 1
+
+(** Uniform float in [0, 1). *)
+let float t = float_of_int (next t land ((1 lsl 53) - 1)) /. float_of_int (1 lsl 53)

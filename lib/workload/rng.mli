@@ -1,0 +1,17 @@
+(** SplitMix64-style deterministic PRNG: fast, splittable, identical on
+    every platform. *)
+
+type t
+
+val create : int -> t
+
+val split : seed:int -> int -> t
+(** An independent stream for worker [i] of a run seeded with [seed]. *)
+
+val next : t -> int
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)

@@ -1,0 +1,141 @@
+(** Workload generation following the paper's §6.1: uniform random keys over
+    [0, range), a configurable lookup/insert/remove mix covering the YCSB
+    A/B/C points and the 80/10/10 mix used throughout the evaluation, and
+    prefill to half the key range. *)
+
+type op = Lookup of int | Insert of int * int | Remove of int
+
+type mix = {
+  lookup_pct : int;
+  insert_pct : int;
+  remove_pct : int;
+}
+
+let mk_mix ~lookup ~insert ~remove =
+  if lookup + insert + remove <> 100 then invalid_arg "Workload.mk_mix";
+  { lookup_pct = lookup; insert_pct = insert; remove_pct = remove }
+
+(** The paper's standard mix: 80% lookups, 10% inserts, 10% removes. *)
+let read80 = mk_mix ~lookup:80 ~insert:10 ~remove:10
+
+(** YCSB A/B/C: 50%, 95%, 100% reads; updates split evenly. *)
+let ycsb_a = mk_mix ~lookup:50 ~insert:25 ~remove:25
+
+let ycsb_b = mk_mix ~lookup:95 ~insert:3 ~remove:2
+let ycsb_c = mk_mix ~lookup:100 ~insert:0 ~remove:0
+
+(** The update-percentage axis of Figures 6(c,f,i,l,n,o): [updates]% of
+    operations are writes, split evenly between inserts and removes. *)
+let of_updates updates =
+  if updates < 0 || updates > 100 then invalid_arg "Workload.of_updates";
+  let insert = updates / 2 in
+  let remove = updates - insert in
+  mk_mix ~lookup:(100 - updates) ~insert ~remove
+
+(* -- key distributions -------------------------------------------------------- *)
+
+(** YCSB-style scrambled-Zipfian sampler (Gray et al.'s method as used by
+    YCSB): rank sampled from a Zipf(theta) law over [0, range), then
+    scrambled with a multiplicative hash so the hot keys are spread across
+    the key space.  The zeta constants are precomputed per (range, theta)
+    and cached. *)
+module Zipf = struct
+  type t = {
+    range : int;
+    theta : float;
+    alpha : float;
+    zetan : float;
+    eta : float;
+    zeta2 : float;
+  }
+
+  let zeta n theta =
+    let acc = ref 0. in
+    for i = 1 to n do
+      acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+    done;
+    !acc
+
+  (* global cache (mutex-protected, cold path) + per-domain cache (hot) *)
+  let cache : (int * float, t) Hashtbl.t = Hashtbl.create 7
+  let cache_mutex = Mutex.create ()
+
+  let dls_cache : (int * float, t) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 7)
+
+  let compute ~range ~theta =
+    let zetan = zeta range theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1. /. (1. -. theta) in
+    let eta =
+      (1. -. Float.pow (2. /. float_of_int range) (1. -. theta))
+      /. (1. -. (zeta2 /. zetan))
+    in
+    { range; theta; alpha; zetan; eta; zeta2 }
+
+  let make ~range ~theta =
+    let local = Domain.DLS.get dls_cache in
+    match Hashtbl.find_opt local (range, theta) with
+    | Some z -> z
+    | None ->
+        Mutex.lock cache_mutex;
+        let z =
+          match Hashtbl.find_opt cache (range, theta) with
+          | Some z -> z
+          | None ->
+              let z = compute ~range ~theta in
+              Hashtbl.replace cache (range, theta) z;
+              z
+        in
+        Mutex.unlock cache_mutex;
+        Hashtbl.replace local (range, theta) z;
+        z
+
+  (* rank in [0, range), rank 0 most popular *)
+  let rank z rng =
+    let u = Rng.float rng in
+    let uz = u *. z.zetan in
+    if uz < 1. then 0
+    else if uz < 1. +. Float.pow 0.5 z.theta then 1
+    else
+      int_of_float
+        (float_of_int z.range
+        *. Float.pow ((z.eta *. u) -. z.eta +. 1.) z.alpha)
+      |> min (z.range - 1)
+
+  let sample z rng =
+    (* scramble so hot ranks land on arbitrary keys, deterministically *)
+    let r = rank z rng in
+    r * 0x61C88647 land max_int mod z.range
+end
+
+type dist = Uniform | Zipfian of float  (** theta; YCSB default is 0.99 *)
+
+let key_of_dist rng dist ~range =
+  match dist with
+  | Uniform -> Rng.int rng range
+  | Zipfian theta -> Zipf.sample (Zipf.make ~range ~theta) rng
+
+let gen ?(dist = Uniform) rng mix ~range =
+  let k = key_of_dist rng dist ~range in
+  let p = Rng.int rng 100 in
+  if p < mix.lookup_pct then Lookup k
+  else if p < mix.lookup_pct + mix.insert_pct then Insert (k, Rng.next rng land 0xFFFF)
+  else Remove k
+
+(** Keys for prefilling a structure to range/2 elements: every even key, in
+    a deterministically shuffled order (ascending insertion would degenerate
+    the external BST into a path; the paper prefills random keys). *)
+let prefill_keys ~range =
+  let n = range / 2 in
+  let a = Array.init n (fun i -> 2 * i) in
+  let rng = Rng.create 0x5EED in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let is_prefilled k = k land 1 = 0

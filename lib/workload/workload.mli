@@ -1,0 +1,32 @@
+(** Workload generation following the paper's §6.1: uniform random keys, a
+    configurable lookup/insert/remove mix (YCSB A/B/C and the 80/10/10 mix
+    of the evaluation), prefill to half the key range. *)
+
+type op = Lookup of int | Insert of int * int | Remove of int
+
+type mix = { lookup_pct : int; insert_pct : int; remove_pct : int }
+
+val mk_mix : lookup:int -> insert:int -> remove:int -> mix
+(** @raise Invalid_argument unless the percentages sum to 100. *)
+
+val read80 : mix
+(** 80% lookups / 10% inserts / 10% removes — the paper's standard mix. *)
+
+val ycsb_a : mix
+val ycsb_b : mix
+val ycsb_c : mix
+
+val of_updates : int -> mix
+(** [updates]% writes, split evenly between inserts and removes — the
+    update-percentage axis of Figures 6(c,f,i,l,n,o). *)
+
+type dist = Uniform | Zipfian of float  (** theta; YCSB's default is 0.99 *)
+
+val key_of_dist : Rng.t -> dist -> range:int -> int
+val gen : ?dist:dist -> Rng.t -> mix -> range:int -> op
+
+val prefill_keys : range:int -> int list
+(** Every even key in a deterministically shuffled order (ascending
+    insertion would degenerate the external BST into a path). *)
+
+val is_prefilled : int -> bool

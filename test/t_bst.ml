@@ -1,0 +1,154 @@
+(** BST-specific regression tests: the Natarajan–Mittal port has the
+    subtlest invariants in the repository — sentinel-spine maintenance when
+    the tree empties (the S-role internal is physically removed and later
+    rebuilt), flag/tag helping, and key-range guards. *)
+
+module R0 = struct
+  let region = Mirror_nvm.Region.create ~track_slots:false ()
+end
+
+module P0 = Mirror_prim.Prim.Volatile_dram (R0)
+module B = Mirror_dstruct.Bst.Make (P0)
+
+let check = Support.check
+
+let test_empty_tree () =
+  let t = B.create () in
+  check (not (B.contains t 1)) "empty contains";
+  check (not (B.remove t 1)) "empty remove";
+  check (B.to_list t = []) "empty to_list"
+
+let test_sentinel_spine_survives_emptying () =
+  let t = B.create () in
+  (* the scenario that removes the S-role internal: two keys, delete both *)
+  check (B.insert t 10 1) "insert 10";
+  check (B.insert t 20 2) "insert 20";
+  check (B.remove t 10) "remove 10";
+  (* now a real leaf sits directly under S; deleting it removes S itself *)
+  check (B.remove t 20) "remove 20 (removes the sentinel internal)";
+  check (B.to_list t = []) "empty again";
+  (* the next insertion must rebuild the sentinel spine *)
+  check (B.insert t 5 3) "insert rebuilds the spine";
+  check (B.contains t 5) "key present";
+  check (B.remove t 5) "remove works again";
+  (* repeat the cycle to make sure the rebuilt spine is equivalent *)
+  for round = 1 to 5 do
+    check (B.insert t round 0) "cycle insert";
+    check (B.remove t round) "cycle remove"
+  done;
+  check (B.to_list t = []) "still consistent"
+
+let test_single_key_cycles () =
+  let t = B.create () in
+  for i = 1 to 50 do
+    check (B.insert t 7 i) (Printf.sprintf "insert round %d" i);
+    check (not (B.insert t 7 i)) "duplicate fails";
+    check (B.contains t 7) "present";
+    check (B.remove t 7) "remove";
+    check (not (B.contains t 7)) "absent"
+  done
+
+let test_ascending_descending () =
+  let t = B.create () in
+  for k = 1 to 64 do
+    check (B.insert t k k) "ascending insert"
+  done;
+  check (B.to_list t = List.init 64 (fun i -> (i + 1, i + 1))) "all present";
+  for k = 64 downto 1 do
+    check (B.remove t k) "descending remove"
+  done;
+  check (B.to_list t = []) "emptied";
+  for k = 64 downto 1 do
+    check (B.insert t k k) "descending insert"
+  done;
+  for k = 1 to 64 do
+    check (B.remove t k) "ascending remove"
+  done;
+  check (B.to_list t = []) "emptied again"
+
+let test_key_range_guard () =
+  let t = B.create () in
+  check
+    (try
+       ignore (B.insert t max_int 0);
+       false
+     with Invalid_argument _ -> true)
+    "sentinel keys rejected";
+  check
+    (try
+       ignore (B.contains t (max_int - 1));
+       false
+     with Invalid_argument _ -> true)
+    "inf1 rejected"
+
+let test_interleaved_helping_seeds () =
+  (* two deleters + one inserter racing on adjacent keys drives the
+     flag/tag helping paths; checked exhaustively on a tiny config *)
+  let explored, _ =
+    Mirror_schedsim.Sched.explore_exhaustive ~limit:30_000 ~max_steps:50_000
+      (fun () ->
+        let region = Support.fresh_region ~track:false () in
+        let module P = (val Support.prim region "orig-dram") in
+        let module T = Mirror_dstruct.Bst.Make (P) in
+        let t = T.create () in
+        ignore (T.insert t 1 1);
+        ignore (T.insert t 2 2);
+        let r1 = ref false and r2 = ref false and r3 = ref false in
+        ( [
+            (fun () -> r1 := T.remove t 1);
+            (fun () -> r2 := T.remove t 2);
+            (fun () -> r3 := T.insert t 3 3);
+          ],
+          fun () ->
+            Support.check !r1 "remove 1 succeeded";
+            Support.check !r2 "remove 2 succeeded";
+            Support.check !r3 "insert 3 succeeded";
+            Support.check
+              (T.to_list t = [ (3, 3) ])
+              "final tree holds exactly the inserted key" ))
+  in
+  check (explored > 100) "explored many interleavings"
+
+let prop_model =
+  QCheck.Test.make ~name:"bst: random ops agree with model" ~count:300
+    QCheck.(list (pair (int_bound 2) (int_bound 31)))
+    (fun ops ->
+      let t = B.create () in
+      let model = Hashtbl.create 31 in
+      List.for_all
+        (fun (kind, k) ->
+          match kind with
+          | 0 ->
+              let expect = not (Hashtbl.mem model k) in
+              let got = B.insert t k k in
+              if got then Hashtbl.replace model k ();
+              got = expect
+          | 1 ->
+              let expect = Hashtbl.mem model k in
+              let got = B.remove t k in
+              if got then Hashtbl.remove model k;
+              got = expect
+          | _ -> B.contains t k = Hashtbl.mem model k)
+        ops
+      &&
+      let keys =
+        Hashtbl.fold (fun k () a -> k :: a) model [] |> List.sort compare
+      in
+      List.map fst (B.to_list t) = keys)
+
+let suite =
+  [
+    ( "bst",
+      [
+        Alcotest.test_case "empty tree" `Quick test_empty_tree;
+        Alcotest.test_case "sentinel spine survives emptying" `Quick
+          test_sentinel_spine_survives_emptying;
+        Alcotest.test_case "single key cycles" `Quick test_single_key_cycles;
+        Alcotest.test_case "ascending/descending" `Quick
+          test_ascending_descending;
+        Alcotest.test_case "key range guard" `Quick test_key_range_guard;
+        Alcotest.test_case "helping interleavings (exhaustive)" `Quick
+          test_interleaved_helping_seeds;
+        QCheck_alcotest.to_alcotest prop_model;
+      ] );
+  ]

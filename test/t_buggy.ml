@@ -1,0 +1,246 @@
+(** Negative controls at the protocol level: deliberately broken variants
+    of the Mirror primitive.  Each removes one design decision the paper
+    argues for, and the test asserts our checkers DETECT the resulting
+    misbehaviour — validating both the harness and the paper's design.
+
+    - {!Volatile_first} writes the volatile replica before persisting the
+      persistent one: a reader can observe (and complete on) a value that
+      a crash then erases — a durable-linearizability violation.
+    - {!No_seq} drops the sequence numbers: the Figure 3 scenario lets a
+      stalled writer resurrect an overwritten value in the volatile
+      replica, leaving the replicas permanently inconsistent. *)
+
+open Mirror_nvm
+module Sched = Mirror_schedsim.Sched
+
+let check = Support.check
+
+(* -- bug 1: volatile replica written before the persist ----------------------- *)
+
+module Volatile_first = struct
+  type 'a t = { repv : 'a Atomic.t; repp : 'a Slot.t; region : Region.t }
+
+  let make region v =
+    { repv = Atomic.make v; repp = Slot.make ~persist:true region v; region }
+
+  let load t =
+    Hooks.yield ();
+    Atomic.get t.repv
+
+  (* WRONG ORDER: repv first, then repp + flush + fence *)
+  let cas t ~expected ~desired =
+    Hooks.yield ();
+    if Atomic.compare_and_set t.repv expected desired then begin
+      Hooks.yield ();
+      ignore (Slot.cas t.repp ~expected ~desired);
+      Slot.flush t.repp;
+      Region.fence t.region;
+      true
+    end
+    else false
+
+  let recover t = Atomic.set t.repv (Slot.peek t.repp)
+end
+
+let test_volatile_first_detected () =
+  (* a reader completes a load of the new value; the writer is cut before
+     its persist; the crash erases what the completed read observed *)
+  let detected = ref false in
+  for seed = 1 to 20 do
+    for cut = 1 to 30 do
+      if not !detected then begin
+        let region = Support.fresh_region () in
+        let v = Volatile_first.make region 0 in
+        let observed = ref None in
+        let writer () = ignore (Volatile_first.cas v ~expected:0 ~desired:1) in
+        let reader () = observed := Some (Volatile_first.load v) in
+        ignore (Sched.run ~seed ~max_steps:cut [ writer; reader ]);
+        let read_completed = !observed <> None in
+        Region.crash region;
+        Volatile_first.recover v;
+        Region.mark_recovered region;
+        let recovered = Volatile_first.load v in
+        (* violation: a COMPLETED read returned 1, but 1 did not survive *)
+        if read_completed && !observed = Some 1 && recovered = 0 then
+          detected := true
+      end
+    done
+  done;
+  check !detected
+    "writing the volatile replica first loses a value a completed read saw"
+
+(* the correct protocol, same scenario, must never show the violation *)
+let test_correct_order_immune () =
+  for cut = 1 to 40 do
+    let region = Support.fresh_region () in
+    let v = Mirror_core.Patomic.make region 0 in
+    let observed = ref None in
+    let writer () = ignore (Mirror_core.Patomic.cas v ~expected:0 ~desired:1) in
+    let reader () = observed := Some (Mirror_core.Patomic.load v) in
+    ignore (Sched.run ~seed:2 ~max_steps:cut [ writer; reader ]);
+    let obs = !observed in
+    Region.crash region;
+    Mirror_core.Patomic.recover v;
+    Region.mark_recovered region;
+    let recovered = Mirror_core.Patomic.load v in
+    if obs = Some 1 then
+      check (recovered = 1)
+        (Printf.sprintf "cut %d: observed value survives the crash" cut)
+  done
+
+(* -- bug 2: no sequence numbers ------------------------------------------------ *)
+
+module No_seq = struct
+  type 'a t = { repv : 'a Atomic.t; repp : 'a Slot.t; region : Region.t }
+
+  let make region v =
+    { repv = Atomic.make v; repp = Slot.make ~persist:true region v; region }
+
+  let load t =
+    Hooks.yield ();
+    Atomic.get t.repv
+
+  (* Figure 4 without the sequence word: persist repp first, then mirror —
+     but nothing stops a stalled writer's late volatile write *)
+  let cas t ~expected ~desired =
+    Hooks.yield ();
+    let ok = Slot.cas t.repp ~expected ~desired in
+    Slot.flush t.repp;
+    Region.fence t.region;
+    if ok then begin
+      Hooks.yield ();
+      (* the stale-resurrection point: this CAS expects only the VALUE *)
+      ignore (Atomic.compare_and_set t.repv expected desired);
+      true
+    end
+    else false
+
+  let quiescent_consistent t = Atomic.get t.repv = Slot.peek t.repp
+end
+
+let test_no_seq_figure3_detected () =
+  (* the exact Figure 3 run: p1 writes 5->10, p2 writes 10->5; without
+     sequence numbers some interleaving leaves repv=10 while repp=5 *)
+  let detected = ref false in
+  let explored, _ =
+    Sched.explore_exhaustive ~limit:50_000 ~max_steps:10_000 (fun () ->
+        let region = Support.fresh_region () in
+        let v = No_seq.make region 5 in
+        let r1 = ref false and r2 = ref false in
+        ( [
+            (fun () -> r1 := No_seq.cas v ~expected:5 ~desired:10);
+            (fun () -> r2 := No_seq.cas v ~expected:10 ~desired:5);
+          ],
+          fun () ->
+            if !r1 && !r2 && not (No_seq.quiescent_consistent v) then
+              detected := true ))
+  in
+  check (explored > 10) "explored schedules";
+  check !detected
+    "without sequence numbers, Figure 3 leaves the replicas inconsistent"
+
+(* and the real Patomic already proved immune in t_patomic's
+   figure3 test; assert the exact same property here for symmetry *)
+let test_with_seq_figure3_immune () =
+  let explored, exhausted =
+    Sched.explore_exhaustive ~limit:200_000 ~max_steps:10_000 (fun () ->
+        let region = Support.fresh_region () in
+        let v = Mirror_core.Patomic.make region 5 in
+        ( [
+            (fun () -> ignore (Mirror_core.Patomic.cas v ~expected:5 ~desired:10));
+            (fun () -> ignore (Mirror_core.Patomic.cas v ~expected:10 ~desired:5));
+          ],
+          fun () ->
+            check
+              (Mirror_core.Patomic.peek_v v = Mirror_core.Patomic.peek_p v)
+              "replicas agree at quiescence in every schedule" ))
+  in
+  check exhausted "every interleaving explored";
+  check (explored > 10) "nontrivial exploration"
+
+(* -- bug 3: forgetting the helper's pre-flush ---------------------------------- *)
+
+module No_help_flush = struct
+  (* Mirror where the HELPING path skips the flush+fence before writing
+     repv: a helped value becomes readable before it is durable *)
+  type 'a cell = { v : 'a; seq : int }
+  type 'a t = { repv : 'a cell Atomic.t; repp : 'a cell Slot.t; region : Region.t }
+
+  let make region v =
+    let c = { v; seq = 0 } in
+    { repv = Atomic.make c; repp = Slot.make ~persist:true region c; region }
+
+  let load t =
+    Hooks.yield ();
+    (Atomic.get t.repv).v
+
+  let rec cas t ~expected ~desired =
+    Hooks.yield ();
+    let pc = Slot.load t.repp in
+    let vc = Atomic.get t.repv in
+    if pc.seq = vc.seq + 1 then begin
+      (* BUG: help without persisting first *)
+      ignore (Atomic.compare_and_set t.repv vc pc);
+      cas t ~expected ~desired
+    end
+    else if pc.seq <> vc.seq then cas t ~expected ~desired
+    else if not (pc.v == expected) then false
+    else begin
+      let after = { v = desired; seq = pc.seq + 1 } in
+      let ok, wit =
+        Slot.cas_pred t.repp
+          ~expect:(fun c -> c.v == pc.v && c.seq = pc.seq)
+          ~desired:after
+      in
+      (* BUG: no flush/fence at all on the success path *)
+      if ok then begin
+        ignore (Atomic.compare_and_set t.repv vc after);
+        true
+      end
+      else if wit.v == expected then cas t ~expected ~desired
+      else begin
+        ignore (Atomic.compare_and_set t.repv vc wit);
+        false
+      end
+    end
+
+  let recover t = Atomic.set t.repv (Slot.peek t.repp)
+end
+
+let test_no_flush_detected () =
+  let detected = ref false in
+  for seed = 1 to 20 do
+    for cut = 1 to 20 do
+      if not !detected then begin
+        let region = Support.fresh_region () in
+        let v = No_help_flush.make region 0 in
+        let observed = ref None in
+        let writer () = ignore (No_help_flush.cas v ~expected:0 ~desired:1) in
+        let reader () = observed := Some (No_help_flush.load v) in
+        ignore (Sched.run ~seed ~max_steps:cut [ writer; reader ]);
+        let obs = !observed in
+        Region.crash region;
+        No_help_flush.recover v;
+        Region.mark_recovered region;
+        if obs = Some 1 && No_help_flush.load v = 0 then detected := true
+      end
+    done
+  done;
+  check !detected "a Mirror without flushes loses observed values"
+
+let suite =
+  [
+    ( "buggy-variants",
+      [
+        Alcotest.test_case "volatile-first order detected" `Quick
+          test_volatile_first_detected;
+        Alcotest.test_case "correct order immune" `Quick
+          test_correct_order_immune;
+        Alcotest.test_case "no-seq figure 3 detected" `Quick
+          test_no_seq_figure3_detected;
+        Alcotest.test_case "with-seq figure 3 immune" `Quick
+          test_with_seq_figure3_immune;
+        Alcotest.test_case "missing flush detected" `Quick
+          test_no_flush_detected;
+      ] );
+  ]

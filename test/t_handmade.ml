@@ -1,0 +1,142 @@
+(** Tests of the hand-made competitor implementations: SOFT, Link-Free and
+    the Cmap-like lock-based store. *)
+
+open Mirror_dstruct
+
+let check = Support.check
+
+type kind = Soft_list | Soft_hash | Lf_list | Lf_hash | Cmap_hash
+
+let make_with_region kind : Sets.pack * Mirror_nvm.Region.t =
+  let region = Support.fresh_region () in
+  let module C = struct
+    let region = region
+    let track = true
+  end in
+  let pack =
+    match kind with
+    | Soft_list -> (module Mirror_handmade.Soft.List_set (C) : Sets.SET)
+    | Soft_hash -> (module Mirror_handmade.Soft.Hash_set (C) : Sets.SET)
+    | Lf_list -> (module Mirror_handmade.Link_free.List_set (C) : Sets.SET)
+    | Lf_hash -> (module Mirror_handmade.Link_free.Hash_set (C) : Sets.SET)
+    | Cmap_hash -> (module Mirror_handmade.Cmap.Hash_set (C) : Sets.SET)
+  in
+  (pack, region)
+
+let make kind () = fst (make_with_region kind)
+
+let batteries =
+  Support.battery_with_domains "soft-list" (make Soft_list)
+  @ Support.battery "soft-hash" (make Soft_hash)
+  @ Support.battery_with_domains "link-free-list" (make Lf_list)
+  @ Support.battery "link-free-hash" (make Lf_hash)
+  @ Support.battery ~semantics:false "cmap" (make Cmap_hash)
+
+(* cmap's insert is put-or-update, so duplicate-insert semantics differ from
+   the pure sets; check its update-in-place behaviour explicitly *)
+let test_cmap_update_semantics () =
+  let (module S) = make Cmap_hash () in
+  let t = S.create ~capacity:16 () in
+  check (S.insert t 1 10) "fresh insert true";
+  check (not (S.insert t 1 20)) "second insert reports update";
+  check (S.find_opt t 1 = Some 20) "cmap updates in place";
+  check (S.remove t 1) "remove";
+  check (not (S.remove t 1)) "remove gone";
+  check (S.to_list t = []) "empty"
+
+(* quiesced crash + rebuild-from-registry recovery for SOFT and Link-Free *)
+let crash_roundtrip kind name () =
+  let (module S), region = make_with_region kind in
+  let t = S.create ~capacity:64 () in
+  let rng = Mirror_workload.Rng.create 9 in
+  let model = Hashtbl.create 97 in
+  for i = 1 to 400 do
+    let k = Mirror_workload.Rng.int rng 32 in
+    if Mirror_workload.Rng.bool rng then begin
+      if S.insert t k i then Hashtbl.replace model k i
+    end
+    else if S.remove t k then Hashtbl.remove model k
+  done;
+  Mirror_nvm.Region.crash region;
+  S.recover t;
+  Mirror_nvm.Region.mark_recovered region;
+  let keys = List.map fst (S.to_list t) in
+  let model_keys =
+    Hashtbl.fold (fun k _ a -> k :: a) model [] |> List.sort compare
+  in
+  Alcotest.(check (list int)) (name ^ ": contents preserved") model_keys keys;
+  check (S.insert t 999 1) "usable after recovery";
+  check (S.contains t 999) "readable after recovery";
+  check (S.remove t 999) "removable after recovery"
+
+(* the flush-count claims: one flush+fence per update, none per read *)
+let test_single_flush_per_update () =
+  let (module S), _region = make_with_region Lf_list in
+  let t = S.create () in
+  Mirror_nvm.Stats.reset_all ();
+  for k = 0 to 31 do
+    ignore (S.insert t k k)
+  done;
+  let st = Mirror_nvm.Stats.total () in
+  check
+    (st.Mirror_nvm.Stats.flush = 32)
+    (Printf.sprintf "32 inserts = 32 flushes (got %d)" st.Mirror_nvm.Stats.flush);
+  Mirror_nvm.Stats.reset_all ();
+  for k = 0 to 31 do
+    ignore (S.contains t k)
+  done;
+  let st = Mirror_nvm.Stats.total () in
+  check
+    (st.Mirror_nvm.Stats.flush = 0)
+    "reads of persisted nodes flush nothing (redundant-persist elimination)"
+
+let test_soft_reads_stay_in_dram () =
+  let (module S), _region = make_with_region Soft_list in
+  let t = S.create () in
+  for k = 0 to 31 do
+    ignore (S.insert t k k)
+  done;
+  Mirror_nvm.Stats.reset_all ();
+  for k = 0 to 31 do
+    ignore (S.contains t k)
+  done;
+  let st = Mirror_nvm.Stats.total () in
+  check (st.Mirror_nvm.Stats.nvm_read = 0) "SOFT lookups never read NVMM";
+  check (st.Mirror_nvm.Stats.flush = 0) "SOFT lookups flush nothing"
+
+let test_linkfree_reads_touch_nvmm () =
+  let (module S), _region = make_with_region Lf_list in
+  let t = S.create () in
+  for k = 0 to 31 do
+    ignore (S.insert t k k)
+  done;
+  Mirror_nvm.Stats.reset_all ();
+  for k = 0 to 31 do
+    ignore (S.contains t k)
+  done;
+  let st = Mirror_nvm.Stats.total () in
+  check (st.Mirror_nvm.Stats.nvm_read > 0) "Link-Free lookups read from NVMM"
+
+let suite =
+  [
+    ( "handmade",
+      batteries
+      @ [
+          Alcotest.test_case "cmap update semantics" `Quick
+            test_cmap_update_semantics;
+          Alcotest.test_case "soft crash roundtrip" `Quick
+            (crash_roundtrip Soft_list "soft");
+          Alcotest.test_case "soft-hash crash roundtrip" `Quick
+            (crash_roundtrip Soft_hash "soft-hash");
+          Alcotest.test_case "link-free crash roundtrip" `Quick
+            (crash_roundtrip Lf_list "link-free");
+          Alcotest.test_case "link-free-hash crash roundtrip" `Quick
+            (crash_roundtrip Lf_hash "link-free-hash");
+          Alcotest.test_case "link-free single flush per update" `Quick
+            test_single_flush_per_update;
+          Alcotest.test_case "soft reads stay in DRAM" `Quick
+            test_soft_reads_stay_in_dram;
+          Alcotest.test_case "link-free reads touch NVMM" `Quick
+            test_linkfree_reads_touch_nvmm;
+        ] );
+  ]

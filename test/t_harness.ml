@@ -1,0 +1,124 @@
+(** Smoke and consistency tests of the benchmark harness itself. *)
+
+open Mirror_harness
+
+let check = Support.check
+
+let test_runner_smoke () =
+  let region = Support.fresh_region ~track:false () in
+  let (module S) =
+    Mirror_dstruct.Sets.make Mirror_dstruct.Sets.List_ds
+      (Support.prim region "mirror")
+  in
+  let p =
+    Runner.run ~seconds:0.05 ~threads:2 ~range:32
+      ~mix:Mirror_workload.Workload.read80
+      (module S)
+  in
+  check (p.Runner.ops > 0) "ops executed";
+  check (p.Runner.mops > 0.) "throughput positive";
+  check (p.Runner.modeled_mops > 0.) "model positive";
+  check (p.Runner.algo = "list/mirror") "algo name"
+
+let test_modeled_ordering () =
+  (* the cost model must reproduce the paper's headline ordering on a
+     read-heavy list workload: Mirror > NVTraverse > Izraelevitz *)
+  let point prim_name =
+    let region = Support.fresh_region ~track:false () in
+    let (module S) =
+      Mirror_dstruct.Sets.make Mirror_dstruct.Sets.List_ds
+        (Support.prim region prim_name)
+    in
+    Runner.run ~seconds:0.05 ~threads:2 ~range:128
+      ~mix:Mirror_workload.Workload.read80
+      (module S)
+  in
+  let m = point "mirror" in
+  let n = point "nvtraverse" in
+  let i = point "izraelevitz" in
+  check
+    (m.Runner.modeled_mops > n.Runner.modeled_mops)
+    "mirror beats nvtraverse (model)";
+  check
+    (n.Runner.modeled_mops > i.Runner.modeled_mops)
+    "nvtraverse beats izraelevitz (model)"
+
+let test_make_set_combinations () =
+  let region = Support.fresh_region ~track:false () in
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun algo ->
+          match Figures.make_set ~region ds algo with
+          | Some (module S) ->
+              let t = S.create ~capacity:16 () in
+              check (S.insert t 1 1) "fresh set usable"
+          | None -> (
+              (* only set-only/hash-only designs may be missing *)
+              match algo with
+              | Figures.Soft | Figures.Link_free | Figures.Cmap -> ()
+              | _ -> Alcotest.fail "general transformation missing"))
+        [
+          Figures.Orig_dram;
+          Figures.Orig_nvmm;
+          Figures.Izraelevitz;
+          Figures.Nvtraverse;
+          Figures.Mirror;
+          Figures.Mirror_nvmm;
+          Figures.Soft;
+          Figures.Link_free;
+          Figures.Cmap;
+        ])
+    Support.all_ds
+
+let test_panel_inventory () =
+  let cfg = Figures.quick in
+  let panels = Figures.all_panels cfg in
+  check (List.length panels = 15 + 12) "15 figure-6 + 12 figure-7 panels";
+  List.iter
+    (fun p ->
+      check (p.Figures.algos <> []) "panel has algorithms";
+      check (String.length p.Figures.id >= 2) "panel id")
+    panels;
+  (* figure 7 panels must use the NVMM placement of Mirror *)
+  List.iter
+    (fun p ->
+      if String.get p.Figures.id 0 = '7' then begin
+        check
+          (not (List.mem Figures.Mirror p.Figures.algos))
+          "no DRAM-placed mirror in figure 7";
+        check
+          (List.mem Figures.Mirror_nvmm p.Figures.algos)
+          "mirror-nvmm present in figure 7"
+      end)
+    panels
+
+let test_run_tiny_panel () =
+  let cfg =
+    {
+      Figures.quick with
+      Figures.seconds = 0.03;
+      threads_axis = [ 1; 2 ];
+      list_range = 32;
+    }
+  in
+  let panel = List.hd (Figures.figure6 cfg) in
+  let rows = Figures.run_panel cfg panel in
+  check (List.length rows = 2 * List.length panel.Figures.algos)
+    "one row per (x, algo)";
+  List.iter
+    (fun r -> check (r.Figures.point.Runner.ops > 0) "row has ops")
+    rows
+
+let suite =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "runner smoke" `Quick test_runner_smoke;
+        Alcotest.test_case "modeled ordering" `Quick test_modeled_ordering;
+        Alcotest.test_case "make_set combinations" `Quick
+          test_make_set_combinations;
+        Alcotest.test_case "panel inventory" `Quick test_panel_inventory;
+        Alcotest.test_case "run tiny panel" `Slow test_run_tiny_panel;
+      ] );
+  ]

@@ -1,0 +1,246 @@
+(** Self-tests of the linearizability checker: it must accept valid
+    histories and, crucially, reject invalid ones — a checker that always
+    says yes proves nothing. *)
+
+module L = Mirror_harness.Linearize
+
+let check = Support.check
+
+let ev op res inv resp = { L.op; res = Some res; inv; resp }
+let inflight op inv = { L.op; res = None; inv; resp = max_int }
+
+(* -- register histories ------------------------------------------------------ *)
+
+let reg evs ~ok () =
+  let got =
+    L.check (module L.Register_spec) ~init:0 ~final_ok:(fun _ -> true)
+      (Array.of_list evs)
+  in
+  check (got = ok) (if ok then "should accept" else "should reject")
+
+let open_ = L.Register_spec.Load
+let cas a b = L.Register_spec.Cas (a, b)
+let rint v = L.Register_spec.RInt v
+let rbool b = L.Register_spec.RBool b
+
+let sequential_valid =
+  reg [ ev (cas 0 1) (rbool true) 0 1; ev open_ (rint 1) 2 3 ] ~ok:true
+
+let sequential_invalid_read =
+  reg [ ev (cas 0 1) (rbool true) 0 1; ev open_ (rint 0) 2 3 ] ~ok:false
+
+let sequential_invalid_cas =
+  reg [ ev (cas 5 1) (rbool true) 0 1 ] ~ok:false
+
+let overlapping_either_order =
+  (* two overlapping CASes from 0: exactly one may win — and a read of
+     either winner is fine *)
+  reg
+    [
+      ev (cas 0 1) (rbool true) 0 5;
+      ev (cas 0 2) (rbool false) 1 4;
+      ev open_ (rint 1) 6 7;
+    ]
+    ~ok:true
+
+let both_cas_succeed_invalid =
+  reg [ ev (cas 0 1) (rbool true) 0 5; ev (cas 0 2) (rbool true) 1 4 ] ~ok:false
+
+let realtime_order_respected =
+  (* load completing before a CAS starts cannot observe its effect *)
+  reg [ ev open_ (rint 1) 0 1; ev (cas 0 1) (rbool true) 2 3 ] ~ok:false
+
+let inflight_may_apply =
+  reg [ inflight (cas 0 1) 0; ev open_ (rint 1) 2 3 ] ~ok:true
+
+let inflight_may_not_apply =
+  reg [ inflight (cas 0 1) 0; ev open_ (rint 0) 2 3 ] ~ok:true
+
+(* -- set-key histories with final-state checks -------------------------------- *)
+
+let set evs ~init ~obs ~ok () =
+  let got =
+    L.check (module L.Set_key_spec) ~init ~final_ok:(fun m -> m = obs)
+      (Array.of_list evs)
+  in
+  check (got = ok) (if ok then "should accept" else "should reject")
+
+let i_op = L.Set_key_spec.Insert
+let r_op = L.Set_key_spec.Remove
+let l_op = L.Set_key_spec.Lookup
+
+let set_insert_then_present =
+  set [ ev i_op true 0 1 ] ~init:false ~obs:true ~ok:true
+
+let set_insert_lost_detected =
+  set [ ev i_op true 0 1 ] ~init:false ~obs:false ~ok:false
+
+let set_remove_then_absent =
+  set [ ev r_op true 0 1 ] ~init:true ~obs:false ~ok:true
+
+let set_remove_resurrected_detected =
+  set [ ev r_op true 0 1 ] ~init:true ~obs:true ~ok:false
+
+let set_inflight_insert_free =
+  set [ inflight i_op 0 ] ~init:false ~obs:true ~ok:true
+
+let set_inflight_insert_free2 =
+  set [ inflight i_op 0 ] ~init:false ~obs:false ~ok:true
+
+let set_lookup_constrains =
+  (* completed lookup=true pins the insert before it; a crash losing the
+     insert while keeping the lookup is a durable-linearizability bug *)
+  set
+    [ inflight i_op 0; ev l_op true 2 3 ]
+    ~init:false ~obs:false ~ok:false
+
+let set_interleaved_valid =
+  set
+    [
+      ev i_op true 0 1;
+      ev r_op true 2 3;
+      ev i_op true 4 5;
+      ev l_op true 6 7;
+    ]
+    ~init:false ~obs:true ~ok:true
+
+let set_duplicate_insert_results =
+  set
+    [ ev i_op true 0 1; ev i_op false 2 3 ]
+    ~init:false ~obs:true ~ok:true
+
+let set_impossible_results =
+  set
+    [ ev i_op true 0 1; ev i_op true 2 3 ]
+    ~init:false ~obs:true ~ok:false
+
+let wide_overlap_accepted () =
+  (* 100 mutually-overlapping lookups: a single huge window, fine since the
+     search short-circuits on the first valid linearization *)
+  let evs = Array.init 100 (fun i -> ev l_op false i (1000 + i)) in
+  check
+    (L.check (module L.Set_key_spec) ~init:false ~final_ok:(fun _ -> true) evs)
+    "wide overlap window handled"
+
+let too_large_rejected () =
+  let evs = Array.init 4097 (fun i -> ev l_op false i (100_000 + i)) in
+  check
+    (try
+       ignore
+         (L.check (module L.Set_key_spec) ~init:false
+            ~final_ok:(fun _ -> true) evs);
+       false
+     with Invalid_argument _ -> true)
+    "absurdly wide window rejected"
+
+let long_sequential_ok () =
+  (* long but sequential histories decompose into windows *)
+  let evs =
+    Array.init 200 (fun i ->
+        ev (if i mod 2 = 0 then i_op else r_op) true (2 * i) ((2 * i) + 1))
+  in
+  check
+    (L.check (module L.Set_key_spec) ~init:false
+       ~final_ok:(fun m -> m = false)
+       evs)
+    "200-event sequential history checked via windows"
+
+(* qcheck self-properties: any genuinely sequential execution must be
+   accepted, and corrupting any single result of it must be rejected (set
+   results are deterministic in a sequential history) *)
+
+let gen_seq_history =
+  QCheck.Gen.(
+    list_size (int_bound 20)
+      (frequency [ (2, return `I); (2, return `R); (1, return `L) ]))
+
+let build_history ops =
+  let state = ref false in
+  List.mapi
+    (fun i op ->
+      let o, r =
+        match op with
+        | `I ->
+            let r = not !state in
+            state := true;
+            (L.Set_key_spec.Insert, r)
+        | `R ->
+            let r = !state in
+            state := false;
+            (L.Set_key_spec.Remove, r)
+        | `L -> (L.Set_key_spec.Lookup, !state)
+      in
+      { L.op = o; res = Some r; inv = 2 * i; resp = (2 * i) + 1 })
+    ops
+  |> fun evs -> (evs, !state)
+
+let prop_sequential_accepted =
+  QCheck.Test.make ~name:"linearize: sequential histories accepted" ~count:300
+    (QCheck.make gen_seq_history) (fun ops ->
+      let evs, final = build_history ops in
+      L.check (module L.Set_key_spec) ~init:false
+        ~final_ok:(fun m -> m = final)
+        (Array.of_list evs))
+
+let prop_corruption_rejected =
+  QCheck.Test.make ~name:"linearize: corrupted result rejected" ~count:300
+    QCheck.(pair (make gen_seq_history) small_int)
+    (fun (ops, idx) ->
+      QCheck.assume (ops <> []);
+      let evs, final = build_history ops in
+      let n = List.length evs in
+      let idx = idx mod n in
+      let evs =
+        List.mapi
+          (fun i e ->
+            if i = idx then
+              { e with L.res = Option.map not e.L.res }
+            else e)
+          evs
+      in
+      not
+        (L.check (module L.Set_key_spec) ~init:false
+           ~final_ok:(fun m -> m = final)
+           (Array.of_list evs)))
+
+let suite =
+  [
+    ( "linearize",
+      [
+        Alcotest.test_case "reg: sequential valid" `Quick sequential_valid;
+        Alcotest.test_case "reg: bad read rejected" `Quick
+          sequential_invalid_read;
+        Alcotest.test_case "reg: bad cas rejected" `Quick sequential_invalid_cas;
+        Alcotest.test_case "reg: overlap either order" `Quick
+          overlapping_either_order;
+        Alcotest.test_case "reg: double win rejected" `Quick
+          both_cas_succeed_invalid;
+        Alcotest.test_case "reg: realtime respected" `Quick
+          realtime_order_respected;
+        Alcotest.test_case "reg: inflight may apply" `Quick inflight_may_apply;
+        Alcotest.test_case "reg: inflight may not apply" `Quick
+          inflight_may_not_apply;
+        Alcotest.test_case "set: insert present" `Quick set_insert_then_present;
+        Alcotest.test_case "set: lost insert detected" `Quick
+          set_insert_lost_detected;
+        Alcotest.test_case "set: remove absent" `Quick set_remove_then_absent;
+        Alcotest.test_case "set: resurrection detected" `Quick
+          set_remove_resurrected_detected;
+        Alcotest.test_case "set: inflight free (applied)" `Quick
+          set_inflight_insert_free;
+        Alcotest.test_case "set: inflight free (dropped)" `Quick
+          set_inflight_insert_free2;
+        Alcotest.test_case "set: lookup pins dependency" `Quick
+          set_lookup_constrains;
+        Alcotest.test_case "set: interleaved valid" `Quick set_interleaved_valid;
+        Alcotest.test_case "set: duplicate inserts" `Quick
+          set_duplicate_insert_results;
+        Alcotest.test_case "set: impossible results" `Quick
+          set_impossible_results;
+        Alcotest.test_case "oversized history" `Quick too_large_rejected;
+        Alcotest.test_case "wide overlap accepted" `Quick wide_overlap_accepted;
+        Alcotest.test_case "long sequential windows" `Quick long_sequential_ok;
+        QCheck_alcotest.to_alcotest prop_sequential_accepted;
+        QCheck_alcotest.to_alcotest prop_corruption_rejected;
+      ] );
+  ]

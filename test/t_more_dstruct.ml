@@ -1,0 +1,220 @@
+(** Extra structure-specific tests: skip-list tower mechanics, Harris-list
+    marked-node handling, hash-table distribution, all with qcheck model
+    properties and exhaustive tiny-interleaving checks. *)
+
+let check = Support.check
+
+let region0 = Mirror_nvm.Region.create ~track_slots:false ()
+
+module P0 = Mirror_prim.Prim.Volatile_dram (struct
+  let region = region0
+end)
+
+module SL = Mirror_dstruct.Skiplist.Make (P0)
+module LL = Mirror_dstruct.Linked_list.Make (P0)
+module HT = Mirror_dstruct.Hash_table.Make (P0)
+
+(* -- skip list ---------------------------------------------------------------- *)
+
+let test_skiplist_levels () =
+  (* towers are random per domain; just verify heavy insert/delete cycling
+     across many tower heights keeps the bottom list consistent *)
+  let t = SL.create () in
+  for round = 1 to 20 do
+    for k = 0 to 99 do
+      check (SL.insert t k k) "insert"
+    done;
+    check (List.length (SL.to_list t) = 100) "all present";
+    for k = 0 to 99 do
+      check (SL.remove t k) (Printf.sprintf "round %d remove %d" round k)
+    done;
+    check (SL.to_list t = []) "emptied"
+  done
+
+let test_skiplist_random_level_distribution () =
+  (* geometric: roughly half the towers have height 1, a quarter height 2 *)
+  let counts = Array.make 21 0 in
+  for _ = 1 to 20_000 do
+    let l = SL.random_level () in
+    counts.(l) <- counts.(l) + 1
+  done;
+  check (counts.(1) > 8_000 && counts.(1) < 12_000) "~half at level 1";
+  check (counts.(2) > 3_500 && counts.(2) < 6_500) "~quarter at level 2";
+  check (counts.(0) = 0) "no zero-height towers"
+
+let test_skiplist_concurrent_insert_remove_exhaustive () =
+  let explored, _ =
+    Mirror_schedsim.Sched.explore_exhaustive ~limit:20_000 ~max_steps:100_000
+      (fun () ->
+        let region = Support.fresh_region ~track:false () in
+        let module P = (val Support.prim region "orig-dram") in
+        let module S = Mirror_dstruct.Skiplist.Make (P) in
+        let t = S.create () in
+        ignore (S.insert t 5 5);
+        let r1 = ref false and r2 = ref false in
+        ( [
+            (fun () -> r1 := S.remove t 5);
+            (fun () -> r2 := S.insert t 6 6);
+          ],
+          fun () ->
+            check !r1 "remove succeeded";
+            check !r2 "insert succeeded";
+            check (S.to_list t = [ (6, 6) ]) "final state" ))
+  in
+  check (explored > 20) "explored interleavings"
+
+let prop_skiplist_model =
+  QCheck.Test.make ~name:"skiplist: random ops agree with model" ~count:200
+    QCheck.(list (pair (int_bound 2) (int_bound 31)))
+    (fun ops ->
+      let t = SL.create () in
+      let model = Hashtbl.create 31 in
+      List.for_all
+        (fun (kind, k) ->
+          match kind with
+          | 0 ->
+              let expect = not (Hashtbl.mem model k) in
+              let got = SL.insert t k k in
+              if got then Hashtbl.replace model k ();
+              got = expect
+          | 1 ->
+              let expect = Hashtbl.mem model k in
+              let got = SL.remove t k in
+              if got then Hashtbl.remove model k;
+              got = expect
+          | _ -> SL.contains t k = Hashtbl.mem model k)
+        ops
+      &&
+      let keys =
+        Hashtbl.fold (fun k () a -> k :: a) model [] |> List.sort compare
+      in
+      List.map fst (SL.to_list t) = keys)
+
+(* -- linked list ----------------------------------------------------------------- *)
+
+let test_list_remove_then_traverse () =
+  (* a logically deleted but not yet unlinked node must be invisible: drive
+     the deleter to stop right after marking using the step budget *)
+  let found = ref false in
+  for cut = 1 to 60 do
+    let region = Support.fresh_region ~track:false () in
+    let module P = (val Support.prim region "orig-dram") in
+    let module L = Mirror_dstruct.Linked_list.Make (P) in
+    let t = L.create () in
+    ignore (L.insert t 1 1);
+    ignore (L.insert t 2 2);
+    ignore (L.insert t 3 3);
+    let o =
+      Mirror_schedsim.Sched.run ~seed:1 ~max_steps:cut
+        [ (fun () -> ignore (L.remove t 2)) ]
+    in
+    if not o.Mirror_schedsim.Sched.completed then begin
+      found := true;
+      (* the remover was cut somewhere; whatever the intermediate state,
+         traversals must agree with one of the two abstract states *)
+      let c = L.contains t 2 in
+      let l = List.map fst (L.to_list t) in
+      if c then check (l = [ 1; 2; 3 ]) "not yet deleted: fully present"
+      else check (l = [ 1; 3 ]) "deleted: fully absent";
+      check (L.contains t 1 && L.contains t 3) "neighbours unaffected"
+    end
+  done;
+  check !found "some cut left the remover mid-operation"
+
+let prop_list_model =
+  QCheck.Test.make ~name:"list: random ops agree with model" ~count:200
+    QCheck.(list (pair (int_bound 2) (int_bound 15)))
+    (fun ops ->
+      let t = LL.create () in
+      let model = Hashtbl.create 15 in
+      List.for_all
+        (fun (kind, k) ->
+          match kind with
+          | 0 ->
+              let expect = not (Hashtbl.mem model k) in
+              let got = LL.insert t k k in
+              if got then Hashtbl.replace model k ();
+              got = expect
+          | 1 ->
+              let expect = Hashtbl.mem model k in
+              let got = LL.remove t k in
+              if got then Hashtbl.remove model k;
+              got = expect
+          | _ -> LL.contains t k = Hashtbl.mem model k)
+        ops)
+
+(* -- hash table -------------------------------------------------------------------- *)
+
+let test_hash_bucket_distribution () =
+  let t = HT.create ~buckets:64 () in
+  for k = 0 to 1023 do
+    ignore (HT.insert t k k)
+  done;
+  check (HT.size t = 1024) "all inserted";
+  (* Fibonacci hashing must spread consecutive keys: no bucket list should
+     hold more than a few times the mean *)
+  let sizes =
+    List.init 1024 (fun k -> k)
+    |> List.fold_left
+         (fun acc k ->
+           let b = HT.hash t k in
+           let cur = try List.assoc b acc with Not_found -> 0 in
+           (b, cur + 1) :: List.remove_assoc b acc)
+         []
+    |> List.map snd
+  in
+  check (List.length sizes > 32) "many buckets used";
+  check (List.for_all (fun s -> s < 64) sizes) "no degenerate bucket"
+
+let test_hash_capacity_rounding () =
+  let t = HT.create ~buckets:100 () in
+  (* rounded to 128; all ops must still work *)
+  for k = 0 to 499 do
+    check (HT.insert t k k) "insert"
+  done;
+  for k = 0 to 499 do
+    check (HT.contains t k) "contains"
+  done
+
+let prop_hash_model =
+  QCheck.Test.make ~name:"hash: random ops agree with model" ~count:200
+    QCheck.(list (pair (int_bound 2) (int_bound 63)))
+    (fun ops ->
+      let t = HT.create ~buckets:8 () in
+      let model = Hashtbl.create 63 in
+      List.for_all
+        (fun (kind, k) ->
+          match kind with
+          | 0 ->
+              let expect = not (Hashtbl.mem model k) in
+              let got = HT.insert t k k in
+              if got then Hashtbl.replace model k ();
+              got = expect
+          | 1 ->
+              let expect = Hashtbl.mem model k in
+              let got = HT.remove t k in
+              if got then Hashtbl.remove model k;
+              got = expect
+          | _ -> HT.contains t k = Hashtbl.mem model k)
+        ops)
+
+let suite =
+  [
+    ( "more-dstruct",
+      [
+        Alcotest.test_case "skiplist level cycling" `Quick test_skiplist_levels;
+        Alcotest.test_case "skiplist level distribution" `Quick
+          test_skiplist_random_level_distribution;
+        Alcotest.test_case "skiplist exhaustive interleavings" `Quick
+          test_skiplist_concurrent_insert_remove_exhaustive;
+        Alcotest.test_case "list cut remover visibility" `Quick
+          test_list_remove_then_traverse;
+        Alcotest.test_case "hash bucket distribution" `Quick
+          test_hash_bucket_distribution;
+        Alcotest.test_case "hash capacity rounding" `Quick
+          test_hash_capacity_rounding;
+        QCheck_alcotest.to_alcotest prop_skiplist_model;
+        QCheck_alcotest.to_alcotest prop_list_model;
+        QCheck_alcotest.to_alcotest prop_hash_model;
+      ] );
+  ]

@@ -1,0 +1,94 @@
+(** Tests for the skip-list priority queue. *)
+
+module Sched = Mirror_schedsim.Sched
+
+let check = Support.check
+
+let test_heapsort prim_name () =
+  let region = Support.fresh_region () in
+  let module P = (val Support.prim region prim_name) in
+  let module Q = Mirror_dstruct.Priority_queue.Make (P) in
+  let q = Q.create () in
+  let rng = Mirror_workload.Rng.create 31 in
+  let keys = ref [] in
+  for _ = 1 to 200 do
+    let k = Mirror_workload.Rng.int rng 1000 in
+    if Q.insert q k (k * 2) then keys := k :: !keys
+  done;
+  check (Q.peek_min q = Some (List.fold_left min max_int !keys, 2 * List.fold_left min max_int !keys))
+    "peek_min is the smallest";
+  let drained = ref [] in
+  let rec drain () =
+    match Q.delete_min q with
+    | None -> ()
+    | Some (k, v) ->
+        check (v = k * 2) "value attached to priority";
+        drained := k :: !drained;
+        drain ()
+  in
+  drain ();
+  check (List.rev !drained = List.sort compare !keys) "drains in priority order";
+  check (Q.delete_min q = None) "empty afterwards"
+
+let test_concurrent_drain () =
+  (* three tasks drain concurrently: every inserted element is delivered
+     exactly once, and the union is complete *)
+  for seed = 1 to 30 do
+    let region = Support.fresh_region () in
+    let module P = (val Support.prim region "mirror") in
+    let module Q = Mirror_dstruct.Priority_queue.Make (P) in
+    let q = Q.create () in
+    for k = 1 to 12 do
+      ignore (Q.insert q k k)
+    done;
+    let outs = Array.make 3 [] in
+    let worker i () =
+      let rec go () =
+        match Q.delete_min q with
+        | None -> ()
+        | Some (k, _) ->
+            outs.(i) <- k :: outs.(i);
+            go ()
+      in
+      go ()
+    in
+    let o = Sched.run ~seed [ worker 0; worker 1; worker 2 ] in
+    check o.Sched.completed "completed";
+    let all = List.concat (Array.to_list outs) |> List.sort compare in
+    check (all = List.init 12 (fun i -> i + 1)) "each element delivered once";
+    (* each drainer individually sees ascending priorities (quiescent
+       consistency of the drain phase: no concurrent inserts) *)
+    Array.iter
+      (fun l -> check (List.rev l = List.sort compare l) "drainer sees ascending")
+      outs
+  done
+
+let test_crash_roundtrip () =
+  let region = Support.fresh_region () in
+  let module P = (val Support.prim region "mirror") in
+  let module Q = Mirror_dstruct.Priority_queue.Make (P) in
+  let q = Q.create () in
+  for k = 10 downto 1 do
+    ignore (Q.insert q k (100 + k))
+  done;
+  check (Q.delete_min q = Some (1, 101)) "min before crash";
+  Mirror_nvm.Region.crash region;
+  Q.recover q;
+  Mirror_nvm.Region.mark_recovered region;
+  check (Q.peek_min q = Some (2, 102)) "recovered min";
+  check (Q.delete_min q = Some (2, 102)) "usable after recovery";
+  check (List.length (Q.to_list q) = 8) "remaining elements"
+
+let suite =
+  [
+    ( "pqueue",
+      [
+        Alcotest.test_case "heapsort (orig-dram)" `Quick
+          (test_heapsort "orig-dram");
+        Alcotest.test_case "heapsort (mirror)" `Quick (test_heapsort "mirror");
+        Alcotest.test_case "heapsort (izraelevitz)" `Quick
+          (test_heapsort "izraelevitz");
+        Alcotest.test_case "concurrent drain" `Quick test_concurrent_drain;
+        Alcotest.test_case "crash roundtrip" `Quick test_crash_roundtrip;
+      ] );
+  ]

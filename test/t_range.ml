@@ -1,0 +1,104 @@
+(** Tests for the weakly consistent iteration / range-scan APIs. *)
+
+module R0 = struct
+  let region = Mirror_nvm.Region.create ~track_slots:false ()
+end
+
+module P0 = Mirror_prim.Prim.Volatile_dram (R0)
+module LL = Mirror_dstruct.Linked_list.Make (P0)
+module SL = Mirror_dstruct.Skiplist.Make (P0)
+module B = Mirror_dstruct.Bst.Make (P0)
+
+let check = Support.check
+
+let fill_list () =
+  let t = LL.create () in
+  List.iter (fun k -> ignore (LL.insert t k (k * 10))) [ 5; 1; 9; 3; 7 ];
+  t
+
+let test_list_range () =
+  let t = fill_list () in
+  check (LL.range t ~lo:3 ~hi:8 = [ (3, 30); (5, 50); (7, 70) ]) "mid range";
+  check (LL.range t ~lo:0 ~hi:100 = LL.to_list t) "full range";
+  check (LL.range t ~lo:6 ~hi:6 = []) "empty range";
+  check (LL.range t ~lo:9 ~hi:10 = [ (9, 90) ]) "upper edge";
+  ignore (LL.remove t 5);
+  check (LL.range t ~lo:3 ~hi:8 = [ (3, 30); (7, 70) ]) "removed key excluded"
+
+let test_list_fold_iter () =
+  let t = fill_list () in
+  check (LL.fold (fun a k _ -> a + k) 0 t = 25) "fold sums keys";
+  let n = ref 0 in
+  LL.iter (fun _ _ -> incr n) t;
+  check (!n = 5) "iter visits all"
+
+let test_skiplist_range () =
+  let t = SL.create () in
+  for k = 0 to 99 do
+    ignore (SL.insert t k k)
+  done;
+  check
+    (SL.range t ~lo:10 ~hi:15 = List.init 5 (fun i -> (10 + i, 10 + i)))
+    "scan window";
+  check (List.length (SL.range t ~lo:0 ~hi:100) = 100) "full scan";
+  check (SL.range t ~lo:200 ~hi:300 = []) "past the end";
+  for k = 10 to 12 do
+    ignore (SL.remove t k)
+  done;
+  check (SL.range t ~lo:10 ~hi:15 = [ (13, 13); (14, 14) ]) "after removals";
+  check (SL.fold (fun a _ _ -> a + 1) 0 t = 97) "fold count"
+
+let test_bst_range () =
+  let t = B.create () in
+  List.iter (fun k -> ignore (B.insert t k k)) [ 50; 25; 75; 10; 30; 60; 90 ];
+  check (B.range t ~lo:25 ~hi:61 = [ (25, 25); (30, 30); (50, 50); (60, 60) ])
+    "in-order window";
+  check (List.length (B.range t ~lo:0 ~hi:100) = 7) "full range";
+  ignore (B.remove t 30);
+  check (B.range t ~lo:25 ~hi:61 = [ (25, 25); (50, 50); (60, 60) ])
+    "after removal";
+  check (B.fold (fun a k _ -> a + k) 0 t = 310) "fold sums"
+
+let test_scan_during_updates () =
+  (* weakly consistent guarantee: a scan overlapping updates must contain
+     every key untouched during the scan, and nothing never-inserted *)
+  for seed = 1 to 20 do
+    let region = Support.fresh_region ~track:false () in
+    let module P = (val Support.prim region "mirror") in
+    let module S = Mirror_dstruct.Skiplist.Make (P) in
+    let t = S.create () in
+    for k = 0 to 29 do
+      ignore (S.insert t k k)
+    done;
+    let result = ref [] in
+    let scanner () = result := S.range t ~lo:0 ~hi:100 in
+    let mutator () =
+      (* churn only keys 50..59; 0..29 stay untouched *)
+      for k = 50 to 59 do
+        ignore (S.insert t k k);
+        ignore (S.remove t k)
+      done
+    in
+    let o = Mirror_schedsim.Sched.run ~seed [ scanner; mutator ] in
+    check o.Mirror_schedsim.Sched.completed "completed";
+    let keys = List.map fst !result in
+    for k = 0 to 29 do
+      check (List.mem k keys) (Printf.sprintf "stable key %d seen" k)
+    done;
+    List.iter
+      (fun k -> check (k < 30 || (k >= 50 && k < 60)) "no phantom keys")
+      keys
+  done
+
+let suite =
+  [
+    ( "range",
+      [
+        Alcotest.test_case "list range" `Quick test_list_range;
+        Alcotest.test_case "list fold/iter" `Quick test_list_fold_iter;
+        Alcotest.test_case "skiplist range" `Quick test_skiplist_range;
+        Alcotest.test_case "bst range" `Quick test_bst_range;
+        Alcotest.test_case "scan during updates" `Quick
+          test_scan_during_updates;
+      ] );
+  ]

@@ -1,0 +1,95 @@
+(** Tests of the recovery driver: multiple structures per region, tracer
+    ordering, repeated cycles, and the failure modes it must surface. *)
+
+open Mirror_core
+open Mirror_dstruct
+
+let check = Support.check
+
+let test_two_structures_one_region () =
+  let region = Support.fresh_region () in
+  let rec_ = Recovery.create region in
+  let (module A) = Sets.make Sets.List_ds (Support.prim region "mirror") in
+  let (module B) = Sets.make Sets.Hash_ds (Support.prim region "mirror") in
+  let ta = A.create () in
+  let tb = B.create ~capacity:32 () in
+  Recovery.register_tracer rec_ (fun () -> A.recover ta);
+  Recovery.register_tracer rec_ (fun () -> B.recover tb);
+  ignore (A.insert ta 1 10);
+  ignore (B.insert tb 2 20);
+  Recovery.crash_and_recover rec_;
+  check (A.contains ta 1) "list recovered";
+  check (B.contains tb 2) "hash recovered";
+  check (A.find_opt ta 1 = Some 10) "list value";
+  check (B.find_opt tb 2 = Some 20) "hash value"
+
+let test_tracer_order () =
+  let region = Support.fresh_region () in
+  let rec_ = Recovery.create region in
+  let order = ref [] in
+  Recovery.register_tracer rec_ (fun () -> order := 1 :: !order);
+  Recovery.register_tracer rec_ (fun () -> order := 2 :: !order);
+  Recovery.register_tracer rec_ (fun () -> order := 3 :: !order);
+  Recovery.crash_and_recover rec_;
+  check (List.rev !order = [ 1; 2; 3 ]) "tracers run in registration order"
+
+let test_missing_tracer_detected () =
+  let region = Support.fresh_region () in
+  let rec_ = Recovery.create region in
+  let (module A) = Sets.make Sets.List_ds (Support.prim region "mirror") in
+  let ta = A.create () in
+  (* forgot to register A's tracer *)
+  ignore (A.insert ta 1 1);
+  Recovery.crash rec_;
+  Recovery.recover rec_;
+  check
+    (try
+       ignore (A.contains ta 1);
+       false
+     with Invalid_argument _ -> true)
+    "using an untraced structure after recovery is a detected bug"
+
+let test_region_state_machine () =
+  let region = Support.fresh_region () in
+  let rec_ = Recovery.create region in
+  check (not (Mirror_nvm.Region.is_down region)) "up initially";
+  Recovery.crash rec_;
+  check (Mirror_nvm.Region.is_down region) "down after crash";
+  Recovery.recover rec_;
+  check (not (Mirror_nvm.Region.is_down region)) "up after recovery";
+  check (Mirror_nvm.Region.crash_count region = 1) "one crash counted"
+
+let test_many_cycles_queue_and_set () =
+  let region = Support.fresh_region () in
+  let rec_ = Recovery.create region in
+  let module P = (val Support.prim region "mirror") in
+  let module Q = Mirror_dstruct.Queue.Make (P) in
+  let (module S) = Sets.make Sets.Bst_ds (Support.prim region "mirror") in
+  let q = Q.create () in
+  let s = S.create () in
+  Recovery.register_tracer rec_ (fun () -> Q.recover q);
+  Recovery.register_tracer rec_ (fun () -> S.recover s);
+  for round = 1 to 6 do
+    Q.enqueue q round;
+    ignore (S.insert s round round);
+    Recovery.crash_and_recover rec_;
+    check (List.length (Q.to_list q) = round) "queue grows across cycles";
+    check (List.length (S.to_list s) = round) "bst grows across cycles"
+  done;
+  check (Q.to_list q = [ 1; 2; 3; 4; 5; 6 ]) "queue order preserved"
+
+let suite =
+  [
+    ( "recovery",
+      [
+        Alcotest.test_case "two structures one region" `Quick
+          test_two_structures_one_region;
+        Alcotest.test_case "tracer order" `Quick test_tracer_order;
+        Alcotest.test_case "missing tracer detected" `Quick
+          test_missing_tracer_detected;
+        Alcotest.test_case "region state machine" `Quick
+          test_region_state_machine;
+        Alcotest.test_case "many cycles, queue + bst" `Quick
+          test_many_cycles_queue_and_set;
+      ] );
+  ]

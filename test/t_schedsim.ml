@@ -1,0 +1,192 @@
+(** Tests of the deterministic interleaving scheduler. *)
+
+module Sched = Mirror_schedsim.Sched
+
+let check = Support.check
+
+(* a task that records its own steps into a shared trace *)
+let tracer trace id steps () =
+  for i = 1 to steps do
+    trace := (id, i) :: !trace;
+    Mirror_nvm.Hooks.yield ()
+  done
+
+let test_runs_to_completion () =
+  let trace = ref [] in
+  let o = Sched.run ~seed:1 [ tracer trace 'a' 3; tracer trace 'b' 3 ] in
+  check o.Sched.completed "completed";
+  check (List.length !trace = 6) "all steps executed"
+
+let test_deterministic_by_seed () =
+  let run seed =
+    let trace = ref [] in
+    ignore (Sched.run ~seed [ tracer trace 'a' 5; tracer trace 'b' 5 ]);
+    !trace
+  in
+  check (run 7 = run 7) "same seed, same schedule";
+  let distinct =
+    List.exists (fun s -> run s <> run 1) [ 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  check distinct "different seeds explore different schedules"
+
+let test_interleaving_happens () =
+  (* under some seed, task a and b steps interleave *)
+  let interleaved seed =
+    let trace = ref [] in
+    ignore (Sched.run ~seed [ tracer trace 'a' 5; tracer trace 'b' 5 ]);
+    let order = List.rev_map fst !trace in
+    let rec changes = function
+      | x :: (y :: _ as rest) -> (if x <> y then 1 else 0) + changes rest
+      | _ -> 0
+    in
+    changes order > 1
+  in
+  check
+    (List.exists interleaved [ 1; 2; 3; 4; 5 ])
+    "some seed interleaves the tasks"
+
+let test_crash_cut () =
+  let trace = ref [] in
+  let o =
+    Sched.run ~seed:1 ~max_steps:4 [ tracer trace 'a' 100; tracer trace 'b' 100 ]
+  in
+  check (not o.Sched.completed) "cut reported";
+  check (o.Sched.steps = 4) "stopped at the step budget";
+  check (List.length !trace <= 5) "work actually stopped"
+
+let test_yield_outside_scheduler_is_noop () =
+  Mirror_nvm.Hooks.yield ();
+  check true "yield without a scheduler does not raise"
+
+let test_exhaustive_explores_all () =
+  (* 2 tasks x 1 yield each: schedules = interleavings of (a1 a2) (b1 b2)
+     where each task is [work; yield; work-end]; just check the counts are
+     sane and every schedule satisfies the invariant *)
+  let seen = Hashtbl.create 16 in
+  let explored, exhausted =
+    Sched.explore_exhaustive ~limit:1000 (fun () ->
+        let trace = ref [] in
+        let tasks = [ tracer trace 'a' 2; tracer trace 'b' 2 ] in
+        ( tasks,
+          fun () ->
+            let order = List.rev !trace in
+            Hashtbl.replace seen order ();
+            (* per-task order must be preserved in every schedule *)
+            let proj id =
+              List.filter (fun (x, _) -> x = id) order |> List.map snd
+            in
+            check (proj 'a' = [ 1; 2 ]) "task a ordered";
+            check (proj 'b' = [ 1; 2 ]) "task b ordered" ))
+  in
+  check exhausted "tree exhausted";
+  check (explored >= Hashtbl.length seen) "explored covers seen";
+  check (Hashtbl.length seen > 1) "more than one distinct schedule"
+
+let test_exhaustive_limit () =
+  let explored, exhausted =
+    Sched.explore_exhaustive ~limit:3 (fun () ->
+        let trace = ref [] in
+        ([ tracer trace 'a' 4; tracer trace 'b' 4 ], fun () -> ()))
+  in
+  check (explored = 3) "limit respected";
+  check (not exhausted) "not exhausted under the limit"
+
+let test_pct_runs_all () =
+  let trace = ref [] in
+  let o =
+    Sched.run_pct ~seed:3 ~depth:3
+      [ tracer trace 'a' 5; tracer trace 'b' 5; tracer trace 'c' 5 ]
+  in
+  check o.Sched.completed "pct completes";
+  check (List.length !trace = 15) "all steps executed";
+  (* per-task order preserved *)
+  List.iter
+    (fun id ->
+      let proj = List.filter (fun (x, _) -> x = id) (List.rev !trace) in
+      check (List.map snd proj = [ 1; 2; 3; 4; 5 ]) "task order preserved")
+    [ 'a'; 'b'; 'c' ]
+
+let test_pct_preempts () =
+  (* with change points, some seed must interleave the tasks *)
+  let interleaved seed =
+    let trace = ref [] in
+    ignore (Sched.run_pct ~seed ~depth:4 ~expected_steps:20
+              [ tracer trace 'a' 8; tracer trace 'b' 8 ]);
+    let order = List.rev_map fst !trace in
+    let rec changes = function
+      | x :: (y :: _ as rest) -> (if x <> y then 1 else 0) + changes rest
+      | _ -> 0
+    in
+    changes order >= 1
+  in
+  check (List.exists interleaved [ 1; 2; 3; 4; 5; 6; 7; 8 ]) "pct preempts"
+
+let test_pct_patomic_linearizable () =
+  (* PCT-driven register check, complementing the uniform-random one *)
+  for seed = 1 to 60 do
+    let region = Support.fresh_region () in
+    let v = Mirror_core.Patomic.make region 0 in
+    let clock = Atomic.make 0 in
+    let log = ref [] in
+    let worker wid () =
+      for i = 1 to 5 do
+        let exp = Mirror_core.Patomic.load v in
+        let des = (wid * 100) + i in
+        let inv = Atomic.fetch_and_add clock 1 in
+        let ok = Mirror_core.Patomic.cas v ~expected:exp ~desired:des in
+        let resp = Atomic.fetch_and_add clock 1 in
+        log :=
+          {
+            Mirror_harness.Linearize.op =
+              Mirror_harness.Linearize.Register_spec.Cas (exp, des);
+            res = Some (Mirror_harness.Linearize.Register_spec.RBool ok);
+            inv;
+            resp;
+          }
+          :: !log
+      done
+    in
+    let o = Sched.run_pct ~seed ~depth:4 [ worker 1; worker 2; worker 3 ] in
+    check o.Sched.completed "completed";
+    check
+      (Mirror_harness.Linearize.check
+         (module Mirror_harness.Linearize.Register_spec)
+         ~init:0
+         ~final_ok:(fun _ -> true)
+         (Array.of_list (List.rev !log)))
+      (Printf.sprintf "pct seed %d linearizable" seed);
+    check (Mirror_core.Patomic.lemma54_ok v) "lemma 5.4 at quiescence"
+  done
+
+let test_exception_propagates () =
+  let boom () = failwith "boom" in
+  check
+    (try
+       ignore (Sched.run ~seed:1 [ boom ]);
+       false
+     with Failure _ -> true)
+    "task exceptions surface"
+
+let suite =
+  [
+    ( "schedsim",
+      [
+        Alcotest.test_case "runs to completion" `Quick test_runs_to_completion;
+        Alcotest.test_case "deterministic by seed" `Quick
+          test_deterministic_by_seed;
+        Alcotest.test_case "interleaving happens" `Quick
+          test_interleaving_happens;
+        Alcotest.test_case "crash cut" `Quick test_crash_cut;
+        Alcotest.test_case "yield outside scheduler" `Quick
+          test_yield_outside_scheduler_is_noop;
+        Alcotest.test_case "exhaustive explores" `Quick
+          test_exhaustive_explores_all;
+        Alcotest.test_case "exhaustive limit" `Quick test_exhaustive_limit;
+        Alcotest.test_case "exception propagates" `Quick
+          test_exception_propagates;
+        Alcotest.test_case "pct runs all" `Quick test_pct_runs_all;
+        Alcotest.test_case "pct preempts" `Quick test_pct_preempts;
+        Alcotest.test_case "pct patomic linearizable" `Quick
+          test_pct_patomic_linearizable;
+      ] );
+  ]

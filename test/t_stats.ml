@@ -1,0 +1,97 @@
+(** Unit tests of the statistics and latency-configuration plumbing. *)
+
+open Mirror_nvm
+
+let check = Support.check
+
+let test_add_clear () =
+  let a = Stats.zero () in
+  let b = Stats.zero () in
+  b.Stats.nvm_read <- 3;
+  b.Stats.flush <- 2;
+  Stats.add ~into:a b;
+  Stats.add ~into:a b;
+  check (a.Stats.nvm_read = 6 && a.Stats.flush = 4) "add accumulates";
+  Stats.clear a;
+  check (a.Stats.nvm_read = 0 && a.Stats.flush = 0) "clear zeroes"
+
+let test_total_and_reset () =
+  Stats.reset_all ();
+  let s = Stats.get () in
+  s.Stats.fence <- s.Stats.fence + 5;
+  check ((Stats.total ()).Stats.fence >= 5) "total sees this domain";
+  Stats.reset_all ();
+  check ((Stats.total ()).Stats.fence = 0) "reset_all clears registry"
+
+let test_domains_isolated () =
+  Stats.reset_all ();
+  let d =
+    Domain.spawn (fun () ->
+        let s = Stats.get () in
+        s.Stats.nvm_write <- 7)
+  in
+  Domain.join d;
+  let local = Stats.get () in
+  check (local.Stats.nvm_write = 0) "local counters untouched";
+  check ((Stats.total ()).Stats.nvm_write = 7) "total includes the other domain";
+  Stats.reset_all ()
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp () =
+  let s = Stats.zero () in
+  s.Stats.nvm_read <- 1;
+  let str = Format.asprintf "%a" Stats.pp s in
+  check (String.length str > 10) "pp renders";
+  check (contains_sub str "nvm") "pp mentions nvm"
+
+let test_latency_config_roundtrip () =
+  let saved = Latency.get_config () in
+  let cfg = { saved with Latency.nvm_read_ns = 123 } in
+  Latency.set_config cfg;
+  check ((Latency.get_config ()).Latency.nvm_read_ns = 123) "set/get roundtrip";
+  Latency.set_config saved
+
+let test_latency_profiles () =
+  check (List.length Latency.profiles = 4) "four platform profiles";
+  check
+    ((Latency.profile "x86-clwb").Latency.flush_ns
+    = (Latency.profile "x86-clflushopt").Latency.flush_ns)
+    "clwb and clflushopt alike";
+  check
+    ((Latency.profile "x86-clflush").Latency.flush_ns
+    > (Latency.profile "x86-clwb").Latency.flush_ns)
+    "clflush costlier";
+  check
+    (try
+       ignore (Latency.profile "sparc");
+       false
+     with Invalid_argument _ -> true)
+    "unknown profile rejected"
+
+let test_disabled_injection_free () =
+  Latency.set_enabled false;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 100_000 do
+    Latency.nvm_read ()
+  done;
+  check (Unix.gettimeofday () -. t0 < 0.3) "disabled injection is cheap"
+
+let suite =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "add/clear" `Quick test_add_clear;
+        Alcotest.test_case "total/reset" `Quick test_total_and_reset;
+        Alcotest.test_case "domain isolation" `Quick test_domains_isolated;
+        Alcotest.test_case "pp" `Quick test_pp;
+        Alcotest.test_case "latency config roundtrip" `Quick
+          test_latency_config_roundtrip;
+        Alcotest.test_case "latency profiles" `Quick test_latency_profiles;
+        Alcotest.test_case "disabled injection free" `Quick
+          test_disabled_injection_free;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+(** Tests for the redo-log transactional map: set semantics via the battery,
+    multi-key transaction atomicity across crashes at every protocol step,
+    and crash torture through the durable checker. *)
+
+module Tx = Mirror_handmade.Txmap
+module Sched = Mirror_schedsim.Sched
+
+let check = Support.check
+
+let make_set () =
+  let region = Support.fresh_region () in
+  let module C = struct
+    let region = region
+  end in
+  (module Mirror_handmade.Txmap.Hash_set (C) : Mirror_dstruct.Sets.SET)
+
+let battery = Support.battery "txmap" make_set
+
+let test_multi_key_transaction () =
+  let region = Support.fresh_region () in
+  let t = Tx.create ~capacity:32 region in
+  Tx.transaction t [ Tx.Put (1, 10); Tx.Put (2, 20); Tx.Put (3, 30) ];
+  check (Tx.get t 1 = Some 10 && Tx.get t 2 = Some 20) "puts applied";
+  Tx.transaction t [ Tx.Del 2; Tx.Put (4, 40) ];
+  check (Tx.get t 2 = None) "del applied";
+  check (Tx.get t 4 = Some 40) "put applied";
+  check (Tx.to_list t = [ (1, 10); (3, 30); (4, 40) ]) "final contents"
+
+(* all-or-nothing across crashes: cut the commit protocol at every step *)
+let test_atomicity_across_crashes () =
+  let saw_none = ref false and saw_all = ref false in
+  for cut = 1 to 80 do
+    let region = Support.fresh_region () in
+    let t = Tx.create ~capacity:32 region in
+    Tx.transaction t [ Tx.Put (9, 90) ] (* pre-existing state *);
+    let task () =
+      Tx.transaction t [ Tx.Put (1, 10); Tx.Del 9; Tx.Put (2, 20) ]
+    in
+    let o = Sched.run ~seed:1 ~max_steps:cut [ task ] in
+    Mirror_nvm.Region.crash region;
+    Tx.recover t;
+    Mirror_nvm.Region.mark_recovered region;
+    let contents = Tx.to_list t in
+    let none = contents = [ (9, 90) ] in
+    let all = contents = [ (1, 10); (2, 20) ] in
+    if none then saw_none := true;
+    if all then saw_all := true;
+    if not (none || all) then
+      Alcotest.failf "cut %d: partial transaction visible: %s" cut
+        (String.concat ";"
+           (List.map (fun (k, v) -> Printf.sprintf "%d=%d" k v) contents));
+    (* a completed transaction must always survive *)
+    if o.Sched.completed && not all then
+      Alcotest.failf "cut %d: completed transaction lost" cut
+  done;
+  check !saw_none "some cut dropped the uncommitted transaction";
+  check !saw_all "some cut committed before the crash"
+
+(* crash mid-APPLY: once the commit point persisted, recovery must finish
+   the job — every cut yields either nothing or the full transaction *)
+let test_replay_completes_partial_apply () =
+  let replayed = ref false in
+  for cut = 1 to 120 do
+    let region = Support.fresh_region () in
+    let t = Tx.create ~capacity:32 region in
+    let task () = Tx.transaction t [ Tx.Put (1, 1); Tx.Put (2, 2) ] in
+    let o = Sched.run ~seed:3 ~max_steps:cut [ task ] in
+    Mirror_nvm.Region.crash region;
+    Tx.recover t;
+    Mirror_nvm.Region.mark_recovered region;
+    (match Tx.to_list t with
+    | [] ->
+        if o.Sched.completed then
+          Alcotest.failf "cut %d: completed transaction lost" cut
+    | [ (1, 1); (2, 2) ] -> if not o.Sched.completed then replayed := true
+    | other ->
+        Alcotest.failf "cut %d: partial state %s" cut
+          (String.concat ";"
+             (List.map (fun (k, v) -> Printf.sprintf "%d=%d" k v) other)))
+  done;
+  check !replayed "replay completed a cut-mid-apply transaction in some run"
+
+let test_torture () =
+  for seed = 1 to 8 do
+    let region = Support.fresh_region () in
+    let module C = struct
+      let region = region
+    end in
+    let module S = Mirror_handmade.Txmap.Hash_set (C) in
+    let r =
+      Mirror_harness.Durable.torture_schedsim
+        (module S)
+        ~region
+        ~recover:(fun () -> ())
+        ~seed ~threads:3 ~ops_per_task:8 ~range:8
+        ~mix:(Mirror_workload.Workload.of_updates 70)
+        ~crash_step:250 ()
+    in
+    match r.Mirror_harness.Durable.violations with
+    | [] -> ()
+    | v :: _ ->
+        Alcotest.fail
+          (Format.asprintf "seed %d: %a" seed Mirror_harness.Durable.pp_violation v)
+  done
+
+let suite =
+  [
+    ( "txmap",
+      battery
+      @ [
+          Alcotest.test_case "multi-key transaction" `Quick
+            test_multi_key_transaction;
+          Alcotest.test_case "atomicity across crashes" `Quick
+            test_atomicity_across_crashes;
+          Alcotest.test_case "replay completes partial apply" `Quick
+            test_replay_completes_partial_apply;
+          Alcotest.test_case "mid-op crash torture" `Quick test_torture;
+        ] );
+  ]

@@ -1,0 +1,143 @@
+(** Tests of the PRNG and workload generator. *)
+
+open Mirror_workload
+
+let check = Support.check
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check (Rng.next a = Rng.next b) "same seed, same stream"
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.split ~seed:1 0 and b = Rng.split ~seed:1 1 in
+  let distinct = ref false in
+  for _ = 1 to 20 do
+    if Rng.next a <> Rng.next b then distinct := true
+  done;
+  check !distinct "split streams differ"
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    check (x >= 0 && x < 17) "int in bounds"
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    check (f >= 0. && f < 1.) "float in bounds"
+  done
+
+let test_rng_uniformish () =
+  let r = Rng.create 5 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let i = Rng.int r 8 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 8 in
+      check
+        (abs (c - expected) < expected / 5)
+        (Printf.sprintf "bucket %d within 20%% of uniform (%d)" i c))
+    buckets
+
+let test_mix_ratios () =
+  let rng = Rng.create 7 in
+  let mix = Workload.of_updates 20 in
+  let lookups = ref 0 and inserts = ref 0 and removes = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    match Workload.gen rng mix ~range:100 with
+    | Workload.Lookup _ -> incr lookups
+    | Workload.Insert _ -> incr inserts
+    | Workload.Remove _ -> incr removes
+  done;
+  let pct x = 100 * x / n in
+  check (abs (pct !lookups - 80) <= 2) "~80% lookups";
+  check (abs (pct !inserts - 10) <= 2) "~10% inserts";
+  check (abs (pct !removes - 10) <= 2) "~10% removes"
+
+let test_mix_presets () =
+  check (Workload.ycsb_a.Workload.lookup_pct = 50) "YCSB-A 50% reads";
+  check (Workload.ycsb_b.Workload.lookup_pct = 95) "YCSB-B 95% reads";
+  check (Workload.ycsb_c.Workload.lookup_pct = 100) "YCSB-C read-only";
+  check (Workload.read80.Workload.lookup_pct = 80) "standard mix";
+  check
+    (try
+       ignore (Workload.mk_mix ~lookup:50 ~insert:20 ~remove:20);
+       false
+     with Invalid_argument _ -> true)
+    "mixes must sum to 100"
+
+let test_prefill () =
+  let ks = Workload.prefill_keys ~range:10 in
+  check (List.length ks = 5) "half the range";
+  check (List.for_all Workload.is_prefilled ks) "prefill predicate agrees";
+  check (not (Workload.is_prefilled 3)) "odd keys not prefilled"
+
+let test_zipfian_skew () =
+  let rng = Rng.create 17 in
+  let range = 1000 in
+  let counts = Hashtbl.create 97 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = Workload.key_of_dist rng (Workload.Zipfian 0.99) ~range in
+    check (k >= 0 && k < range) "zipf key in range";
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let sorted =
+    Hashtbl.fold (fun _ c a -> c :: a) counts [] |> List.sort (fun a b -> compare b a)
+  in
+  let top = List.hd sorted in
+  (* Zipf(0.99) over 1000 keys: the hottest key draws a few percent of all
+     accesses; uniform would give 0.1% *)
+  check (top > n / 50) "hot key much hotter than uniform";
+  (* and the skew is deterministic given the seed *)
+  let rng2 = Rng.create 17 in
+  let k1 = Workload.key_of_dist rng2 (Workload.Zipfian 0.99) ~range in
+  let rng3 = Rng.create 17 in
+  let k2 = Workload.key_of_dist rng3 (Workload.Zipfian 0.99) ~range in
+  check (k1 = k2) "zipfian deterministic"
+
+let test_uniform_vs_zipfian_distinct () =
+  let distinct_keys dist =
+    let rng = Rng.create 5 in
+    let seen = Hashtbl.create 97 in
+    for _ = 1 to 5_000 do
+      Hashtbl.replace seen (Workload.key_of_dist rng dist ~range:1000) ()
+    done;
+    Hashtbl.length seen
+  in
+  check
+    (distinct_keys Workload.Uniform > distinct_keys (Workload.Zipfian 0.99))
+    "zipfian concentrates accesses on fewer keys"
+
+let test_keys_in_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    match Workload.gen rng Workload.ycsb_a ~range:64 with
+    | Workload.Lookup k | Workload.Insert (k, _) | Workload.Remove k ->
+        check (k >= 0 && k < 64) "key in range"
+  done
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "rng uniform-ish" `Quick test_rng_uniformish;
+        Alcotest.test_case "mix ratios" `Quick test_mix_ratios;
+        Alcotest.test_case "mix presets" `Quick test_mix_presets;
+        Alcotest.test_case "prefill" `Quick test_prefill;
+        Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
+        Alcotest.test_case "uniform vs zipfian" `Quick
+          test_uniform_vs_zipfian_distinct;
+        Alcotest.test_case "keys in range" `Quick test_keys_in_range;
+      ] );
+  ]
