@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full examples clean
+.PHONY: all build test bench bench-smoke bench-full examples clean
 
 all: build
 
@@ -10,6 +10,12 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# CI-speed pass that also enforces the committed flush/fence ceilings:
+# exits non-zero if any Mirror algorithm exceeds bench/budgets.csv.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke --no-micro --no-ablation \
+	  --csv bench_smoke.csv --budget bench/budgets.csv
 
 bench-full:
 	dune exec bench/main.exe -- --full --csv bench_results.csv

@@ -407,6 +407,10 @@ let run_extensions () =
               /. fops;
             flushes = float_of_int st.Mirror_nvm.Stats.flush /. fops;
             fences = float_of_int st.Mirror_nvm.Stats.fence /. fops;
+            flushes_elided =
+              float_of_int st.Mirror_nvm.Stats.flush_elided /. fops;
+            fences_elided =
+              float_of_int st.Mirror_nvm.Stats.fence_elided /. fops;
           }
         in
         ignore dt;
@@ -474,11 +478,109 @@ let run_extensions () =
         /. fops;
       flushes = float_of_int st.Mirror_nvm.Stats.flush /. fops;
       fences = float_of_int st.Mirror_nvm.Stats.fence /. fops;
+      flushes_elided = float_of_int st.Mirror_nvm.Stats.flush_elided /. fops;
+      fences_elided = float_of_int st.Mirror_nvm.Stats.fence_elided /. fops;
     }
   in
   Printf.printf "%-8s  hand-made-durable=%6.2f (Friedman et al. PPoPP'18)\n"
     "queue" (1e3 /. Mirror_harness.Runner.modeled_ns per_op);
   print_newline ()
+
+(* -- elision panel ---------------------------------------------------------------- *)
+
+(* Flush/fence elision on vs off for every Mirror-transformed structure,
+   under the deterministic scheduler (the only place operations genuinely
+   interleave on this one-core box, so the helping/retry paths that elision
+   targets actually fire).  Charged counts are exact and deterministic;
+   elision changes no control flow, so each off/on pair describes the same
+   executions. *)
+let run_elision () =
+  print_endline
+    "=== elision panel: flush/fence elision off vs on (schedsim, 4 logical \
+     threads, contended)";
+  Printf.printf "%-10s %9s %9s | %9s %9s %9s %9s | %8s %8s\n" "structure"
+    "fl/op" "fe/op" "fl/op" "fe/op" "elided-fl" "elided-fe" "fl-sav%" "fe-sav%";
+  Printf.printf "%-10s %19s | %39s |\n" "" "elision off" "elision on";
+  let pts = F.run_elision_panel () in
+  List.iter
+    (fun ds ->
+      let find elide =
+        List.find (fun p -> p.F.e_ds = ds && p.F.e_elide = elide) pts
+      in
+      let off = find false and on = find true in
+      let sav a b = if a > 0. then 100. *. (a -. b) /. a else 0. in
+      Printf.printf
+        "%-10s %9.3f %9.3f | %9.3f %9.3f %9.3f %9.3f | %7.1f%% %7.1f%%\n%!" ds
+        off.F.e_flushes off.F.e_fences on.F.e_flushes on.F.e_fences
+        on.F.e_flushes_elided on.F.e_fences_elided
+        (sav off.F.e_flushes on.F.e_flushes)
+        (sav off.F.e_fences on.F.e_fences))
+    F.elision_structures;
+  print_newline ();
+  pts
+
+(* -- flush/fence budgets ----------------------------------------------------------- *)
+
+(* bench/budgets.csv commits a per-(structure, algorithm) ceiling on charged
+   flushes/fences per operation for the Mirror algorithms; `make bench-smoke`
+   fails when a smoke run exceeds it, so flush-count regressions are caught
+   without waiting for the full sweep. *)
+let check_budgets (rows : F.row list) budget_file =
+  let parse_line ln =
+    match String.split_on_char ',' (String.trim ln) with
+    | [ ds; algo; max_fl; max_fe ] -> (
+        try Some (ds, algo, float_of_string max_fl, float_of_string max_fe)
+        with Failure _ -> None)
+    | _ -> None
+  in
+  let budgets =
+    let ic = open_in budget_file in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      | ln when String.length ln = 0 || ln.[0] = '#' -> go acc
+      | ln -> go (match parse_line ln with Some b -> b :: acc | None -> acc)
+    in
+    go []
+  in
+  let failures = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (ds, algo, max_fl, max_fe) ->
+      let full_name = ds ^ "/" ^ algo in
+      let pts =
+        List.filter
+          (fun r ->
+            Mirror_dstruct.Sets.ds_name r.F.panel.F.ds = ds
+            && r.F.point.R.algo = full_name)
+          rows
+      in
+      match pts with
+      | [] -> () (* structure not in this run's panel subset *)
+      | _ ->
+          incr checked;
+          let worst f =
+            List.fold_left (fun acc r -> Float.max acc (f r.F.point.R.per_op)) 0. pts
+          in
+          let fl = worst (fun p -> p.R.flushes)
+          and fe = worst (fun p -> p.R.fences) in
+          if fl > max_fl || fe > max_fe then begin
+            incr failures;
+            Printf.eprintf
+              "BUDGET EXCEEDED %-16s flushes/op %.3f (max %.3f)  fences/op \
+               %.3f (max %.3f)\n"
+              full_name fl max_fl fe max_fe
+          end
+          else
+            Printf.printf
+              "budget ok       %-16s flushes/op %.3f <= %.3f  fences/op %.3f \
+               <= %.3f\n"
+              full_name fl max_fl fe max_fe)
+    budgets;
+  if !checked = 0 then
+    Printf.eprintf "budget: no benchmark rows matched %s\n" budget_file;
+  !failures = 0 && !checked > 0
 
 (* -- bechamel microbenchmarks --------------------------------------------------- *)
 
@@ -539,7 +641,7 @@ let run_micro () =
 
 (* -- command line ----------------------------------------------------------------- *)
 
-let main full smoke panels csv no_micro no_ablation seconds =
+let main full smoke panels csv no_micro no_ablation seconds budget =
   let cfg =
     if full then F.full
     else if smoke then
@@ -571,12 +673,28 @@ let main full smoke panels csv no_micro no_ablation seconds =
     (Mirror_nvm.Latency.get_config ()).Mirror_nvm.Latency.fence_ns;
   let rows = run_figures cfg panel_filter csv in
   summarize rows;
+  let elision_pts = run_elision () in
+  Option.iter
+    (fun file ->
+      let efile = Filename.remove_extension file ^ "_elision.csv" in
+      let oc = open_out efile in
+      output_string oc (F.elision_csv_header ^ "\n");
+      List.iter
+        (fun p -> output_string oc (F.elision_point_to_csv p ^ "\n"))
+        elision_pts;
+      close_out oc;
+      Printf.printf "elision rows written to %s\n%!" efile)
+    csv;
   if not no_ablation then begin
     run_ablations ();
     run_extensions ()
   end;
   if not no_micro then run_micro ();
-  print_endline "done."
+  let budgets_ok =
+    match budget with None -> true | Some file -> check_budgets rows file
+  in
+  print_endline "done.";
+  if not budgets_ok then exit 1
 
 open Cmdliner
 
@@ -609,10 +727,22 @@ let seconds =
     & opt (some float) None
     & info [ "seconds" ] ~docv:"S" ~doc:"Wall-clock seconds per experiment point.")
 
+let budget =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "budget" ] ~docv:"FILE"
+        ~doc:
+          "Check measured flushes/fences per op against the ceilings in \
+           $(docv) (CSV: ds,algo,max_flushes_per_op,max_fences_per_op); exit \
+           1 on any regression.")
+
 let cmd =
   let doc = "Regenerate the evaluation figures of the Mirror paper (PLDI'21)." in
   Cmd.v
     (Cmd.info "mirror-bench" ~doc)
-    Term.(const main $ full $ smoke $ panels $ csv $ no_micro $ no_ablation $ seconds)
+    Term.(
+      const main $ full $ smoke $ panels $ csv $ no_micro $ no_ablation
+      $ seconds $ budget)
 
 let () = exit (Cmd.eval cmd)

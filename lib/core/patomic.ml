@@ -99,6 +99,16 @@ let load t =
   check t;
   (read_repv t).v
 
+(* Persist the persistent replica: clwb + sfence (Figure 4 lines 21–22 and
+   41–42).  Elision is layered in the substrate: with the region's elision
+   mode on, the flush is skipped when [repp] is clean (a helper whose target
+   the original writer already persisted pays nothing) and the fence is
+   skipped when this domain has no pending write-back — so one call site
+   serves both the charged and the elided protocol. *)
+let persist_repp t =
+  Slot.flush t.repp;
+  Region.fence t.region
+
 (** Figure 4: [compare_exchange t ~expected ~desired] returns
     [(success, witness)] where [witness] is the value found when the
     operation failed ([expected] itself on success). *)
@@ -113,8 +123,7 @@ let rec compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
   if pc.seq = vc.seq + 1 then begin
     (* lines 19–26: help an ongoing write: persist repp, then mirror it *)
     s.Stats.help <- s.Stats.help + 1;
-    Slot.flush t.repp;
-    Region.fence t.region;
+    persist_repp t;
     ignore (write_repv t ~expected:vc ~desired:pc);
     s.Stats.cas_retry <- s.Stats.cas_retry + 1;
     compare_exchange t ~expected ~desired
@@ -133,8 +142,7 @@ let rec compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
         ~expect:(fun c -> c.v == pc.v && c.seq = pc.seq)
         ~desired:after
     in
-    Slot.flush t.repp;
-    Region.fence t.region;
+    persist_repp t;
     if ok then begin
       ignore (write_repv t ~expected:vc ~desired:after);
       (true, expected)
@@ -154,14 +162,23 @@ let rec compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
 
 let cas t ~expected ~desired = fst (compare_exchange t ~expected ~desired)
 
-(** [store] and [fetch_add] loop over CAS until success (paper §4.1.2). *)
-let rec store t v =
-  let cur = (read_repv t).v in
-  if not (cas t ~expected:cur ~desired:v) then store t v
+(** [store] and [fetch_add] loop over CAS until success (paper §4.1.2).
+    Retries are driven by [compare_exchange]'s witness value — the value
+    found in memory by the failed attempt — instead of a fresh charged
+    [read_repv] per iteration. *)
+let store t v =
+  let rec go expected =
+    let ok, wit = compare_exchange t ~expected ~desired:v in
+    if not ok then go wit
+  in
+  go (read_repv t).v
 
-let rec fetch_add (t : int t) (d : int) : int =
-  let cur = (read_repv t).v in
-  if cas t ~expected:cur ~desired:(cur + d) then cur else fetch_add t d
+let fetch_add (t : int t) (d : int) : int =
+  let rec go expected =
+    let ok, wit = compare_exchange t ~expected ~desired:(expected + d) in
+    if ok then expected else go wit
+  in
+  go (read_repv t).v
 
 (* -- recovery ------------------------------------------------------------ *)
 
@@ -194,11 +211,18 @@ let peek_p t = (Slot.peek t.repp).v
 (** The durability invariant, safe to sample concurrently: sequence numbers
     only grow, so reading [repv] first and the persisted seq after gives a
     sound one-sided check ([seq repv <= persisted seq] must hold at the
-    moment [repv] was read). *)
+    moment [repv] was read).
+
+    A variable created with [~persist:false] has no persisted entry until
+    its first update persists; as long as it is untouched ([seq repv = 0])
+    durability is not applicable and the check reports [true] rather than a
+    violation.  Once written, the first protocol persist installs a
+    persisted entry, so [None] with [seq repv > 0] is a genuine violation. *)
 let durability_invariant_ok t =
   let sv = seq_v t in
-  let spers = Option.value ~default:(-1) (persisted_seq t) in
-  sv <= spers
+  match persisted_seq t with
+  | None -> sv = 0
+  | Some spers -> sv <= spers
 
 (** Lemma 5.4: [seq repv <= seq repp <= seq repv + 1].  Only meaningful when
     no operation is in flight (quiesced), e.g. between schedsim steps. *)

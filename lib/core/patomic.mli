@@ -28,8 +28,13 @@ val compare_exchange : 'a t -> expected:'a -> desired:'a -> bool * 'a
     compare).  Returns [(success, witness)]. *)
 
 val cas : 'a t -> expected:'a -> desired:'a -> bool
+
 val store : 'a t -> 'a -> unit
+(** CAS loop (§4.1.2); retries reuse the witness of the failed
+    [compare_exchange] — one charged read of the volatile replica total. *)
+
 val fetch_add : int t -> int -> int
+(** CAS loop returning the previous value; witness-driven like {!store}. *)
 
 val recover : 'a t -> unit
 (** Restore the volatile replica from the persistent one; called by the
@@ -48,7 +53,9 @@ val peek_v : 'a t -> 'a
 val peek_p : 'a t -> 'a
 
 val durability_invariant_ok : 'a t -> bool
-(** [seq repv <= persisted seq]; sound to sample concurrently. *)
+(** [seq repv <= persisted seq]; sound to sample concurrently.  A
+    [~persist:false] variable that was never written has nothing durable
+    yet — reported as [true] (not applicable), not a violation. *)
 
 val lemma54_ok : 'a t -> bool
 (** Lemma 5.4: [seq repv <= seq repp <= seq repv + 1] (quiesced). *)

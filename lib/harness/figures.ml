@@ -188,7 +188,10 @@ let run_panel ?(progress = fun (_ : string) -> ()) (cfg : config) (panel : panel
       let mix = Mirror_workload.Workload.of_updates updates in
       List.filter_map
         (fun algo ->
-          let region = Mirror_nvm.Region.create ~track_slots:false () in
+          (* Elision is Mirror's optimization layer: the baselines keep the
+             exact charged costs of the paper's transformations. *)
+          let elide = match algo with Mirror | Mirror_nvmm -> true | _ -> false in
+          let region = Mirror_nvm.Region.create ~track_slots:false ~elide () in
           match make_set ~region panel.ds algo with
           | None -> None
           | Some (module S) ->
@@ -209,12 +212,160 @@ let pp_row ppf r =
 
 (** CSV-ish row used by EXPERIMENTS.md tooling. *)
 let row_to_csv r =
-  Printf.sprintf "%s,%s,%s,%d,%d,%.4f,%.3f,%.2f,%.3f,%.3f,%.3f" r.panel.id
-    (Sets.ds_name r.panel.ds) r.point.Runner.algo r.x r.point.Runner.threads
-    r.point.Runner.mops r.point.Runner.modeled_mops
+  Printf.sprintf "%s,%s,%s,%d,%d,%.4f,%.3f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f"
+    r.panel.id (Sets.ds_name r.panel.ds) r.point.Runner.algo r.x
+    r.point.Runner.threads r.point.Runner.mops r.point.Runner.modeled_mops
     r.point.Runner.per_op.Runner.nvm_reads
     r.point.Runner.per_op.Runner.nvm_writes r.point.Runner.per_op.Runner.flushes
     r.point.Runner.per_op.Runner.fences
+    r.point.Runner.per_op.Runner.flushes_elided
+    r.point.Runner.per_op.Runner.fences_elided
 
 let csv_header =
-  "panel,ds,algo,x,threads,mops,modeled_mops,nvm_reads_per_op,nvm_writes_per_op,flushes_per_op,fences_per_op"
+  "panel,ds,algo,x,threads,mops,modeled_mops,nvm_reads_per_op,nvm_writes_per_op,flushes_per_op,fences_per_op,flushes_elided_per_op,fences_elided_per_op"
+
+(* -- elision panel: flush/fence elision on vs off ------------------------- *)
+
+(** One measurement of the elision panel: a Mirror data structure driven by
+    contended logical threads under the deterministic scheduler, with the
+    region's flush/fence elision either off (the seed's exact charged costs)
+    or on.  The scheduler is what actually interleaves operations on this
+    one-core box, so this is where the helping/retry paths that elision
+    targets really fire; the per-op charged counts are exact, deterministic
+    and directly comparable between the two modes (elision changes no
+    control flow, it only reclassifies redundant persisting instructions as
+    elided). *)
+type elision_point = {
+  e_ds : string;
+  e_elide : bool;
+  e_ops : int;  (** completed operations, summed over seeds *)
+  e_flushes : float;  (** charged flushes per op *)
+  e_fences : float;  (** charged fences per op *)
+  e_flushes_elided : float;
+  e_fences_elided : float;
+  e_helps : float;  (** helping-path executions per op *)
+}
+
+(** The eight Mirror-transformed structures of the elision panel: the four
+    set structures of the paper's evaluation plus the queue, stack and
+    priority queue of the generality claim, and the bare primitive as a
+    contended counter (the cost-model floor: one flush + one fence per
+    update). *)
+let elision_structures =
+  [ "list"; "hash"; "bst"; "skiplist"; "queue"; "stack"; "pqueue"; "counter" ]
+
+let run_elision_panel ?(threads = 4) ?(ops_per_task = 40) ?(seeds = 8) () :
+    elision_point list =
+  let module W = Mirror_workload.Workload in
+  let module Rng = Mirror_workload.Rng in
+  let set_driver ds region seed =
+    let (module S : Sets.SET) =
+      Sets.make ds (Mirror_prim.Prim.by_name region "mirror")
+    in
+    let range = 8 in
+    let t = S.create ~capacity:range () in
+    List.iter (fun k -> ignore (S.insert t k k)) (W.prefill_keys ~range);
+    List.init threads (fun i () ->
+        let rng = Rng.split ~seed i in
+        for _ = 1 to ops_per_task do
+          match W.gen rng (W.of_updates 70) ~range with
+          | W.Lookup k -> ignore (S.contains t k)
+          | W.Insert (k, v) -> ignore (S.insert t k v)
+          | W.Remove k -> ignore (S.remove t k)
+        done)
+  in
+  let queue_driver region seed =
+    let (module P : Mirror_prim.Prim.S) =
+      Mirror_prim.Prim.by_name region "mirror"
+    in
+    let module Q = Mirror_dstruct.Queue.Make (P) in
+    let q = Q.create () in
+    ignore seed;
+    List.init threads (fun i () ->
+        for j = 1 to ops_per_task do
+          if j land 1 = 0 then Q.enqueue q ((i * 1000) + j)
+          else ignore (Q.dequeue q)
+        done)
+  in
+  let stack_driver region seed =
+    let (module P : Mirror_prim.Prim.S) =
+      Mirror_prim.Prim.by_name region "mirror"
+    in
+    let module St = Mirror_dstruct.Stack.Make (P) in
+    let s = St.create () in
+    ignore seed;
+    List.init threads (fun i () ->
+        for j = 1 to ops_per_task do
+          if (i + j) land 1 = 0 then St.push s ((i * 1000) + j)
+          else ignore (St.pop s)
+        done)
+  in
+  let pqueue_driver region seed =
+    let (module P : Mirror_prim.Prim.S) =
+      Mirror_prim.Prim.by_name region "mirror"
+    in
+    let module Pq = Mirror_dstruct.Priority_queue.Make (P) in
+    let pq = Pq.create () in
+    List.init threads (fun i () ->
+        let rng = Rng.split ~seed i in
+        for _ = 1 to ops_per_task do
+          if Rng.int rng 2 = 0 then ignore (Pq.insert pq (Rng.int rng 16) 0)
+          else ignore (Pq.delete_min pq)
+        done)
+  in
+  let counter_driver region seed =
+    let v = Mirror_core.Patomic.make region 0 in
+    ignore seed;
+    List.init threads (fun _ () ->
+        for _ = 1 to ops_per_task do
+          ignore (Mirror_core.Patomic.fetch_add v 1)
+        done)
+  in
+  let driver_of = function
+    | "list" -> set_driver Sets.List_ds
+    | "hash" -> set_driver Sets.Hash_ds
+    | "bst" -> set_driver Sets.Bst_ds
+    | "skiplist" -> set_driver Sets.Skiplist_ds
+    | "queue" -> queue_driver
+    | "stack" -> stack_driver
+    | "pqueue" -> pqueue_driver
+    | "counter" -> counter_driver
+    | s -> invalid_arg ("run_elision_panel: unknown structure " ^ s)
+  in
+  let run_one name elide =
+    let driver = driver_of name in
+    let acc = Mirror_nvm.Stats.zero () in
+    let ops = ref 0 in
+    for seed = 1 to seeds do
+      let region = Mirror_nvm.Region.create ~track_slots:false ~elide () in
+      let tasks = driver region seed in
+      Mirror_nvm.Stats.reset_all ();
+      let o = Mirror_schedsim.Sched.run ~seed tasks in
+      if not o.Mirror_schedsim.Sched.completed then
+        failwith "run_elision_panel: schedsim run did not complete";
+      Mirror_nvm.Stats.add ~into:acc (Mirror_nvm.Stats.total ());
+      ops := !ops + (threads * ops_per_task)
+    done;
+    let fops = float_of_int (max 1 !ops) in
+    {
+      e_ds = name;
+      e_elide = elide;
+      e_ops = !ops;
+      e_flushes = float_of_int acc.Mirror_nvm.Stats.flush /. fops;
+      e_fences = float_of_int acc.Mirror_nvm.Stats.fence /. fops;
+      e_flushes_elided =
+        float_of_int acc.Mirror_nvm.Stats.flush_elided /. fops;
+      e_fences_elided = float_of_int acc.Mirror_nvm.Stats.fence_elided /. fops;
+      e_helps = float_of_int acc.Mirror_nvm.Stats.help /. fops;
+    }
+  in
+  List.concat_map
+    (fun name -> [ run_one name false; run_one name true ])
+    elision_structures
+
+let elision_csv_header =
+  "ds,elide,ops,flushes_per_op,fences_per_op,flushes_elided_per_op,fences_elided_per_op,helps_per_op"
+
+let elision_point_to_csv p =
+  Printf.sprintf "%s,%b,%d,%.4f,%.4f,%.4f,%.4f,%.4f" p.e_ds p.e_elide p.e_ops
+    p.e_flushes p.e_fences p.e_flushes_elided p.e_fences_elided p.e_helps

@@ -61,3 +61,35 @@ val run_panel : ?progress:(string -> unit) -> config -> panel -> row list
 val pp_row : Format.formatter -> row -> unit
 val row_to_csv : row -> string
 val csv_header : string
+
+(** {1 The elision panel}
+
+    Flush/fence elision on vs off for the Mirror-transformed structures,
+    measured under the deterministic scheduler (where the helping and retry
+    paths that elision targets actually fire on a one-core box).  Counts
+    are exact and deterministic; elision changes no control flow, so the
+    off/on rows of a structure describe the same executions and
+    [charged_off = charged_on + elided_on] holds per event kind. *)
+
+type elision_point = {
+  e_ds : string;
+  e_elide : bool;
+  e_ops : int;  (** completed operations, summed over seeds *)
+  e_flushes : float;  (** charged flushes per op *)
+  e_fences : float;  (** charged fences per op *)
+  e_flushes_elided : float;
+  e_fences_elided : float;
+  e_helps : float;  (** helping-path executions per op *)
+}
+
+val elision_structures : string list
+(** ["list"; "hash"; "bst"; "skiplist"; "queue"; "stack"; "pqueue";
+    "counter"]. *)
+
+val run_elision_panel :
+  ?threads:int -> ?ops_per_task:int -> ?seeds:int -> unit -> elision_point list
+(** Two rows (elide off, elide on) per structure, in
+    {!elision_structures} order. *)
+
+val elision_csv_header : string
+val elision_point_to_csv : elision_point -> string

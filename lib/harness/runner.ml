@@ -23,6 +23,8 @@ type per_op = {
   nvm_writes : float;
   flushes : float;
   fences : float;
+  flushes_elided : float;  (** skipped by the elision layer: zero cost *)
+  fences_elided : float;
 }
 
 type point = {
@@ -126,6 +128,8 @@ let run ?(seconds = 0.3) ?(seed = 42) ?(llc_bytes = 0)
         float_of_int (st.Stats.nvm_write + st.Stats.nvm_cas) /. fops;
       flushes = float_of_int st.Stats.flush /. fops;
       fences = float_of_int st.Stats.fence /. fops;
+      flushes_elided = float_of_int st.Stats.flush_elided /. fops;
+      fences_elided = float_of_int st.Stats.fence_elided /. fops;
     }
   in
   let wall = t1 -. t0 in
@@ -146,6 +150,8 @@ let run ?(seconds = 0.3) ?(seed = 42) ?(llc_bytes = 0)
 let pp_point ppf p =
   Format.fprintf ppf
     "%-22s t=%-2d ops=%-9d mops=%-8.3f model=%-8.2f nvmR/op=%-6.1f \
-     nvmW/op=%-5.2f fl/op=%-5.2f fe/op=%-5.2f"
+     nvmW/op=%-5.2f fl/op=%-5.2f fe/op=%-5.2f elided(fl/op=%-5.2f \
+     fe/op=%-5.2f)"
     p.algo p.threads p.ops p.mops p.modeled_mops p.per_op.nvm_reads
     p.per_op.nvm_writes p.per_op.flushes p.per_op.fences
+    p.per_op.flushes_elided p.per_op.fences_elided

@@ -10,6 +10,8 @@ type per_op = {
   nvm_writes : float;
   flushes : float;
   fences : float;
+  flushes_elided : float;  (** skipped by the elision layer: zero cost *)
+  fences_elided : float;
 }
 
 type point = {

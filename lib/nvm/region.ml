@@ -14,7 +14,17 @@
     A region can also simulate spontaneous cache eviction at run time
     ([runtime_evict_prob]): real caches write dirty lines back whenever they
     please, so an algorithm must be correct even when *more* than it flushed
-    gets persisted. *)
+    gets persisted.
+
+    Pending write-backs are tracked in a **per-domain** set: [sfence] drains
+    the write-backs recorded by the calling domain (on hardware, a fence
+    orders the issuing CPU's own [clwb]s; under the deterministic scheduler
+    all logical threads share one domain and hence one set, which recovers
+    the seed's global-drain behavior exactly).  When the region's elision
+    mode is on, a fence that finds its domain's set empty is a no-op — it is
+    counted as [fence_elided] and charges no latency (Cai et al., *Fast
+    Nonblocking Persistence*: fences can be elided when no write-back is
+    pending). *)
 
 type crash_policy =
   | Adversarial
@@ -23,6 +33,7 @@ type crash_policy =
       (** each un-fenced write independently survives with probability [p] *)
 
 type t = {
+  id : int;  (** key into each domain's pending-set table *)
   mutable slot_resets : (persist_first:bool -> unit) list;
       (** one closure per registered persistent slot: optionally persist the
           current (cache) value, then reset the cache view to the persisted
@@ -33,22 +44,31 @@ type t = {
   mutable track_slots : bool;
       (** benches disable registration: they never crash and must not retain
           every node ever allocated *)
-  pending : (unit -> unit) list Atomic.t;
-      (** write-back thunks recorded by [flush], committed by [fence] *)
+  mutable domain_pending : (unit -> unit) list ref list;
+      (** every domain's pending write-back set for this region, for crash
+          processing and introspection; each ref is only mutated by its
+          owning domain *)
+  mutable elide : bool;
+      (** flush/fence elision mode: skip (and count as elided) flushes of
+          clean lines and fences with nothing pending *)
   rng : Random.State.t;
   mutable runtime_evict_prob : float;
   mutable crashes : int;
 }
 
+let next_id = Atomic.make 0
+
 let create ?(track_slots = true) ?(runtime_evict_prob = 0.0) ?(seed = 0xC0FFEE)
-    () =
+    ?(elide = false) () =
   {
+    id = Atomic.fetch_and_add next_id 1;
     slot_resets = [];
     volatile_invalidators = [];
     mutex = Mutex.create ();
     down = false;
     track_slots;
-    pending = Atomic.make [];
+    domain_pending = [];
+    elide;
     rng = Random.State.make [| seed |];
     runtime_evict_prob;
     crashes = 0;
@@ -56,6 +76,8 @@ let create ?(track_slots = true) ?(runtime_evict_prob = 0.0) ?(seed = 0xC0FFEE)
 
 let is_down t = t.down
 let crash_count t = t.crashes
+let set_elide t b = t.elide <- b
+let elision t = t.elide
 
 let check_up t =
   if t.down then
@@ -78,28 +100,57 @@ let register_volatile t invalidate =
 
 (* -- flush / fence ------------------------------------------------------- *)
 
+(* The calling domain's pending set for one region: a private table keyed
+   by region id, so the hot path (flush/fence) touches no shared state.
+   First touch registers the set with the region for crash processing. *)
+let pending_key : (int, (unit -> unit) list ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let my_pending t =
+  let tbl = Domain.DLS.get pending_key in
+  match Hashtbl.find_opt tbl t.id with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add tbl t.id r;
+      Mutex.lock t.mutex;
+      t.domain_pending <- r :: t.domain_pending;
+      Mutex.unlock t.mutex;
+      r
+
 (** Record a write-back thunk.  The snapshot semantics (what value gets
     persisted) is the caller's business: {!Slot.flush} captures the cache
     content at flush time, which is a legal write-back instant. *)
 let add_pending t thunk =
-  let rec go () =
-    let old = Atomic.get t.pending in
-    if not (Atomic.compare_and_set t.pending old (thunk :: old)) then go ()
-  in
-  go ()
+  let r = my_pending t in
+  r := thunk :: !r
 
-(** [sfence]: all recorded write-backs are now guaranteed persistent.
-    Draining everyone's pending write-backs (not just the calling domain's)
-    is a legal execution — eviction may persist any flushed line at any
-    time — and simplifies the model. *)
+(** [sfence]: all write-backs recorded by the calling domain are now
+    guaranteed persistent.  With elision on, a fence that has nothing
+    pending is a free no-op ([fence_elided]). *)
 let fence t =
-  Stats.((get ()).fence <- (get ()).fence + 1);
-  Latency.fence ();
-  let thunks = Atomic.exchange t.pending [] in
-  List.iter (fun f -> f ()) thunks;
-  Hooks.yield ()
+  let r = my_pending t in
+  if t.elide && !r = [] then begin
+    let s = Stats.get () in
+    s.Stats.fence_elided <- s.Stats.fence_elided + 1;
+    Hooks.yield ()
+  end
+  else begin
+    Stats.((get ()).fence <- (get ()).fence + 1);
+    Latency.fence ();
+    let thunks = !r in
+    r := [];
+    List.iter (fun f -> f ()) thunks;
+    Hooks.yield ()
+  end
 
-let pending_count t = List.length (Atomic.get t.pending)
+let pending_count t =
+  Mutex.lock t.mutex;
+  let n =
+    List.fold_left (fun acc r -> acc + List.length !r) 0 t.domain_pending
+  in
+  Mutex.unlock t.mutex;
+  n
 
 (* -- runtime eviction ---------------------------------------------------- *)
 
@@ -120,8 +171,15 @@ let crash ?(policy = Adversarial) t =
   Mutex.lock t.mutex;
   t.crashes <- t.crashes + 1;
   t.down <- true;
-  (* 1. un-fenced flushes: apply the policy *)
-  let thunks = Atomic.exchange t.pending [] in
+  (* 1. un-fenced flushes (every domain's): apply the policy *)
+  let thunks =
+    List.concat_map
+      (fun r ->
+        let l = !r in
+        r := [];
+        l)
+      t.domain_pending
+  in
   let survive () =
     match policy with
     | Adversarial -> false

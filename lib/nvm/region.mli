@@ -3,9 +3,15 @@
 
     Slots register themselves here; volatile state (DRAM replicas) registers
     invalidation closures.  {!crash} implements a full-system power failure;
-    {!fence} commits pending write-backs; [runtime_evict_prob] simulates
-    spontaneous cache eviction (an algorithm must tolerate *more* than it
-    flushed becoming durable). *)
+    {!fence} commits the calling domain's pending write-backs;
+    [runtime_evict_prob] simulates spontaneous cache eviction (an algorithm
+    must tolerate *more* than it flushed becoming durable).
+
+    Pending write-backs live in per-domain sets.  When elision mode is on
+    ([elide]), a {!fence} whose domain has nothing pending and a
+    {!Slot.flush} of a clean line are free no-ops, counted in
+    {!Stats.t.fence_elided} / {!Stats.t.flush_elided} — the redundant-persist
+    elimination of Zuriel et al. / Cai et al.  See docs/MODEL.md. *)
 
 type crash_policy =
   | Adversarial
@@ -16,15 +22,27 @@ type crash_policy =
 type t
 
 val create :
-  ?track_slots:bool -> ?runtime_evict_prob:float -> ?seed:int -> unit -> t
+  ?track_slots:bool ->
+  ?runtime_evict_prob:float ->
+  ?seed:int ->
+  ?elide:bool ->
+  unit ->
+  t
 (** [track_slots] (default [true]): register slots for crash processing.
     Benchmarks disable it — they never crash and must not retain every node
-    ever allocated. *)
+    ever allocated.  [elide] (default [false]): enable flush/fence elision;
+    off preserves the exact charged costs of the paper's transformations. *)
 
 val is_down : t -> bool
 (** True between a {!crash} and {!mark_recovered}. *)
 
 val crash_count : t -> int
+
+val set_elide : t -> bool -> unit
+(** Toggle flush/fence elision at run time. *)
+
+val elision : t -> bool
+(** Whether elision mode is on. *)
 
 val check_up : t -> unit
 (** @raise Invalid_argument when the region is down (access before
@@ -34,12 +52,16 @@ val register_slot : t -> (persist_first:bool -> unit) -> unit
 val register_volatile : t -> (unit -> unit) -> unit
 
 val add_pending : t -> (unit -> unit) -> unit
-(** Record a write-back thunk (used by {!Slot.flush}). *)
+(** Record a write-back thunk in the calling domain's pending set (used by
+    {!Slot.flush}). *)
 
 val fence : t -> unit
-(** [sfence]: commit all pending write-backs.  Charges the fence cost. *)
+(** [sfence]: commit the calling domain's pending write-backs.  Charges the
+    fence cost — unless elision is on and nothing is pending, in which case
+    it is a free no-op counted as [fence_elided]. *)
 
 val pending_count : t -> int
+(** Total pending write-backs across all domains (introspection). *)
 
 val maybe_evict : t -> (unit -> unit) -> unit
 (** Run the persist action with the region's runtime eviction probability. *)

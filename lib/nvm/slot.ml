@@ -109,18 +109,6 @@ let cas_pred t ~(expect : 'a -> bool) ~(desired : 'a) : bool * 'a =
 let cas t ~expected ~desired =
   fst (cas_pred t ~expect:(fun v -> v == expected) ~desired)
 
-(** [clwb]: record a write-back of the line's current content.  The value is
-    guaranteed persistent only once a subsequent {!Region.fence} completes,
-    but may reach the media spontaneously before that. *)
-let flush t =
-  Hooks.yield ();
-  check t;
-  let s = Stats.get () in
-  s.Stats.flush <- s.Stats.flush + 1;
-  Latency.flush ();
-  let snapshot = Atomic.get t.current in
-  Region.add_pending t.region (fun () -> persist_monotone t snapshot)
-
 (** Whether the cache line holds data newer than what is guaranteed
     persistent — the check behind Zuriel et al.'s elimination of repeated
     redundant persisting operations.  Free of charge (it models a volatile
@@ -129,6 +117,33 @@ let is_dirty t =
   match Atomic.get t.persisted with
   | None -> true
   | Some p -> p.ver < (Atomic.get t.current).ver
+
+(** [clwb]: record a write-back of the line's current content.  The value is
+    guaranteed persistent only once a subsequent {!Region.fence} completes,
+    but may reach the media spontaneously before that.
+
+    When the region's elision mode is on and the line is clean, the flush is
+    a free no-op counted as [flush_elided]: versions are monotone, so a clean
+    read here means the current value (or a newer one) is already durable and
+    the write-back could only be redundant (Zuriel et al.'s elimination of
+    repeated redundant persisting operations — the clean state is only ever
+    installed by a *completed* flush + fence, which is exactly when a real
+    implementation would clear the per-line dirty bit).  A stale dirty read
+    is merely conservative — we never skip a required persist. *)
+let flush t =
+  Hooks.yield ();
+  check t;
+  if Region.elision t.region && not (is_dirty t) then begin
+    let s = Stats.get () in
+    s.Stats.flush_elided <- s.Stats.flush_elided + 1
+  end
+  else begin
+    let s = Stats.get () in
+    s.Stats.flush <- s.Stats.flush + 1;
+    Latency.flush ();
+    let snapshot = Atomic.get t.current in
+    Region.add_pending t.region (fun () -> persist_monotone t snapshot)
+  end
 
 (** Recovery write: store + immediate durability, usable while the region
     is down (the recovery procedure is the only code running, and it

@@ -29,7 +29,9 @@ val cas_pred : 'a t -> expect:('a -> bool) -> desired:'a -> bool * 'a
 
 val flush : 'a t -> unit
 (** [clwb]: record a write-back of the line's current content; guaranteed
-    durable only after the next {!Region.fence}, possibly earlier. *)
+    durable only after the next {!Region.fence}, possibly earlier.  When the
+    region's elision mode is on ({!Region.elision}) and the line is clean,
+    this is a free no-op counted as {!Stats.t.flush_elided}. *)
 
 val is_dirty : 'a t -> bool
 (** Whether the line holds data newer than the persisted state — the check

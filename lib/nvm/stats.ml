@@ -4,7 +4,12 @@
     cache-line flushes and store fences each algorithm performs per operation.
     We count those events exactly.  Each domain owns a private counter record
     (no cross-domain contention on the hot path); a global registry lets the
-    harness sum and reset counters across domains. *)
+    harness sum and reset counters across domains.
+
+    [flush_elided]/[fence_elided] count persisting instructions that the
+    elision layer (dirty-bit tracking on slots, per-domain pending sets on
+    regions — see docs/MODEL.md) proved redundant and skipped: they cost
+    nothing, but counting them makes the elision win measurable. *)
 
 type t = {
   mutable dram_read : int;
@@ -15,6 +20,8 @@ type t = {
   mutable nvm_cas : int;
   mutable flush : int;
   mutable fence : int;
+  mutable flush_elided : int;  (** flushes skipped: the line was clean *)
+  mutable fence_elided : int;  (** fences skipped: nothing pending *)
   mutable help : int;  (** Mirror helping-path executions *)
   mutable cas_retry : int;  (** protocol-level retries *)
   mutable alloc : int;
@@ -31,6 +38,8 @@ let zero () =
     nvm_cas = 0;
     flush = 0;
     fence = 0;
+    flush_elided = 0;
+    fence_elided = 0;
     help = 0;
     cas_retry = 0;
     alloc = 0;
@@ -46,6 +55,8 @@ let add ~into:a b =
   a.nvm_cas <- a.nvm_cas + b.nvm_cas;
   a.flush <- a.flush + b.flush;
   a.fence <- a.fence + b.fence;
+  a.flush_elided <- a.flush_elided + b.flush_elided;
+  a.fence_elided <- a.fence_elided + b.fence_elided;
   a.help <- a.help + b.help;
   a.cas_retry <- a.cas_retry + b.cas_retry;
   a.alloc <- a.alloc + b.alloc;
@@ -60,6 +71,8 @@ let clear t =
   t.nvm_cas <- 0;
   t.flush <- 0;
   t.fence <- 0;
+  t.flush_elided <- 0;
+  t.fence_elided <- 0;
   t.help <- 0;
   t.cas_retry <- 0;
   t.alloc <- 0;
@@ -96,7 +109,8 @@ let reset_all () =
 
 let pp ppf t =
   Format.fprintf ppf
-    "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d) flush=%d fence=%d help=%d \
-     retry=%d alloc=%d reclaim=%d"
+    "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d) flush=%d fence=%d \
+     elided(fl=%d fe=%d) help=%d retry=%d alloc=%d reclaim=%d"
     t.dram_read t.dram_write t.dram_cas t.nvm_read t.nvm_write t.nvm_cas
-    t.flush t.fence t.help t.cas_retry t.alloc t.reclaim
+    t.flush t.fence t.flush_elided t.fence_elided t.help t.cas_retry t.alloc
+    t.reclaim

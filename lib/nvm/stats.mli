@@ -1,7 +1,11 @@
 (** Per-domain event counters: NVMM reads/writes, flushes, fences, helping,
     retries, allocations.  These exact counts drive the paper's figures.
     Each domain owns a private record (no hot-path contention); the harness
-    sums over a global registry. *)
+    sums over a global registry.
+
+    [flush_elided]/[fence_elided] count persisting instructions skipped by
+    the elision layer (redundant-persist elimination, see docs/MODEL.md);
+    they carry no latency charge. *)
 
 type t = {
   mutable dram_read : int;
@@ -12,6 +16,8 @@ type t = {
   mutable nvm_cas : int;
   mutable flush : int;
   mutable fence : int;
+  mutable flush_elided : int;
+  mutable fence_elided : int;
   mutable help : int;
   mutable cas_retry : int;
   mutable alloc : int;

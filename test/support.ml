@@ -3,8 +3,9 @@
 
 open Mirror_dstruct
 
-let fresh_region ?(track = true) ?(evict = 0.0) ?(seed = 7) () =
-  Mirror_nvm.Region.create ~track_slots:track ~runtime_evict_prob:evict ~seed ()
+let fresh_region ?(track = true) ?(evict = 0.0) ?(seed = 7) ?(elide = false) () =
+  Mirror_nvm.Region.create ~track_slots:track ~runtime_evict_prob:evict ~seed
+    ~elide ()
 
 let prim region name = Mirror_prim.Prim.by_name region name
 
