@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-smoke bench-full examples clean
+.PHONY: all build test bench bench-smoke bench-full examples \
+        mcheck-smoke mcheck-deep clean
 
 all: build
 
@@ -19,6 +20,37 @@ bench-smoke:
 
 bench-full:
 	dune exec bench/main.exe -- --full --csv bench_results.csv
+
+# Crash-point model checking, CI-sized: every persist-relevant crash point
+# of 5 recorded schedules per (structure, mirror variant) pair, plus a
+# negative control that must produce a counterexample (OriginalNVMM never
+# flushes, so an adversarial crash loses completed updates).
+mcheck-smoke:
+	@for ds in list hash bst skiplist; do \
+	  for prim in mirror mirror-nvmm; do \
+	    dune exec bin/mcheck.exe -- --structure $$ds --prim $$prim \
+	      --seeds 5 --threads 4 --ops 10 --budget 200 || exit 1; \
+	  done; \
+	done
+	dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm \
+	  --expect-violation
+	dune exec bin/mcheck.exe -- --structure skiplist --prim mirror-nvmm \
+	  --elide --seeds 3 --threads 4 --ops 10
+
+# Nightly-sized: more schedules, bigger workloads, elision on, and deep
+# mode (a crash point before every plain NVMM write as well).
+mcheck-deep:
+	@for ds in list hash bst skiplist; do \
+	  for prim in mirror mirror-nvmm izraelevitz nvtraverse; do \
+	    dune exec bin/mcheck.exe -- --structure $$ds --prim $$prim \
+	      --seeds 25 --threads 4 --ops 20 --deep --budget 2000 || exit 1; \
+	    dune exec bin/mcheck.exe -- --structure $$ds --prim $$prim \
+	      --seeds 10 --threads 4 --ops 20 --elide --deep --budget 2000 \
+	      || exit 1; \
+	  done; \
+	done
+	dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm \
+	  --seeds 5 --expect-violation
 
 examples:
 	dune exec examples/quickstart.exe

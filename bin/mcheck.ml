@@ -1,0 +1,145 @@
+(* mcheck: crash-point model checker for durable linearizability.
+
+     dune exec bin/mcheck.exe -- --structure skiplist --prim mirror --seeds 3
+     dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm --expect-violation
+     dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm --replay "1:4:0,2,1"
+
+   Exit status: 0 when the verdict matches expectations (no violation, or a
+   violation under --expect-violation), 1 otherwise — so CI can wire the
+   negative control in as a must-fail job. *)
+
+module M = Mirror_mcheck.Mcheck
+
+let ds_of_string = function
+  | "list" -> Mirror_dstruct.Sets.List_ds
+  | "hash" -> Mirror_dstruct.Sets.Hash_ds
+  | "bst" -> Mirror_dstruct.Sets.Bst_ds
+  | "skiplist" -> Mirror_dstruct.Sets.Skiplist_ds
+  | s -> invalid_arg ("unknown structure: " ^ s)
+
+let main structure prim seed seeds budget threads ops range updates elide deep
+    expect_violation replay =
+  let scenario =
+    M.set_scenario ~ds:(ds_of_string structure) ~prim ~elide ~threads
+      ~ops_per_task:ops ~range ~updates ()
+  in
+  let found = ref false in
+  (match replay with
+  | Some s ->
+      let seed, picks, crash_at = M.cx_of_string s in
+      let violations = M.replay scenario ~seed ~picks ~crash_at in
+      Format.printf "replay %s/%s seed=%d crash=%d (%d picks): %s@." structure
+        prim seed crash_at (Array.length picks)
+        (if violations = [] then "no violation" else "VIOLATION");
+      List.iter
+        (fun v ->
+          Format.printf "  %a@." Mirror_harness.Durable.pp_violation v)
+        violations;
+      found := violations <> []
+  | None ->
+      for s = seed to seed + seeds - 1 do
+        let r = M.check ~deep ~budget scenario ~seed:s in
+        Format.printf "%s/%s seed=%d: %a@." structure prim s M.pp_report r;
+        match r.M.counterexample with
+        | None -> ()
+        | Some cx ->
+            found := true;
+            List.iter
+              (fun v ->
+                Format.printf "  %a@." Mirror_harness.Durable.pp_violation v)
+              cx.M.cx_violations
+      done);
+  if !found = expect_violation then 0
+  else begin
+    if expect_violation then
+      Format.printf "expected a violation but every crash point validated@.";
+    1
+  end
+
+open Cmdliner
+
+let structure =
+  Arg.(
+    value
+    & opt string "list"
+    & info [ "structure" ] ~docv:"DS"
+        ~doc:"Data structure: list, hash, bst or skiplist.")
+
+let prim =
+  Arg.(
+    value
+    & opt string "mirror"
+    & info [ "prim" ] ~docv:"P"
+        ~doc:"Persistence strategy (see mirror_cli list).")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"First seed.")
+
+let seeds =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds (schedules) to check.")
+
+let budget =
+  Arg.(
+    value & opt int max_int
+    & info [ "budget" ] ~docv:"B"
+        ~doc:
+          "Max crash points replayed per seed; beyond it points are \
+           subsampled at an even stride.")
+
+let threads =
+  Arg.(value & opt int 3 & info [ "threads" ] ~docv:"T" ~doc:"Logical threads.")
+
+let ops =
+  Arg.(
+    value & opt int 6 & info [ "ops" ] ~docv:"O" ~doc:"Operations per thread.")
+
+let range =
+  Arg.(value & opt int 16 & info [ "range" ] ~docv:"R" ~doc:"Key range.")
+
+let updates =
+  Arg.(
+    value & opt int 60 & info [ "updates" ] ~docv:"U" ~doc:"Update percent.")
+
+let elide =
+  Arg.(
+    value & flag
+    & info [ "elide" ]
+        ~doc:
+          "Enable flush/fence elision, adding elided boundaries (and the \
+           write after each) to the crash-point set.")
+
+let deep =
+  Arg.(
+    value & flag
+    & info [ "deep" ] ~doc:"Also crash before every plain NVMM write.")
+
+let expect_violation =
+  Arg.(
+    value & flag
+    & info [ "expect-violation" ]
+        ~doc:
+          "Invert the exit status: succeed only if a counterexample is \
+           found (negative controls).")
+
+let replay =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"CX"
+        ~doc:
+          "Replay one counterexample (\"seed:crash_at:p0,p1,...\" as \
+           printed on failure) instead of checking.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Enumerate every persist-relevant crash point of a recorded \
+          schedule and check durable linearizability at each.")
+    Term.(
+      const main $ structure $ prim $ seed $ seeds $ budget $ threads $ ops
+      $ range $ updates $ elide $ deep $ expect_violation $ replay)
+
+let () = exit (Cmd.eval' cmd)

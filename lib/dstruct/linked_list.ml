@@ -59,36 +59,56 @@ module Make (P : Mirror_prim.Prim.S) = struct
 
   let contains t k =
     Mirror_core.Ebr.enter t.ebr;
-    (* wait-free traversal: skip marked nodes without unlinking *)
-    let rec walk (l : 'v link) =
+    (* wait-free traversal: skip marked nodes without unlinking.  [field] is
+       where the current link [l] was read: when the walk decides "absent",
+       that link is the deciding observation, and it must be persisted
+       before the result is exposed (strategies whose [load] flushes) — a
+       completed negative answer may depend on an unlinking CAS another
+       thread has not persisted yet, and a crash would undo it. *)
+    let rec walk (field : 'v link P.t) (l : 'v link) =
       match l.target with
-      | None -> false
+      | None ->
+          ignore (P.load field);
+          false
       | Some curr ->
-          if curr.key < k then walk (P.load_t curr.next)
-          else if curr.key > k then false
-          else
-            (* destination read: decides the result, persisted by the
+          if curr.key < k then walk curr.next (P.load_t curr.next)
+          else if curr.key > k then begin
+            ignore (P.load field);
+            false
+          end
+          else begin
+            (* destination reads: the link into [curr] (reachability) and
+               [curr]'s own mark decide the result, persisted by the
                strategies that must *)
+            ignore (P.load field);
             let cl = P.load curr.next in
             not cl.marked
+          end
     in
-    let r = walk (P.load_t t.head) in
+    let r = walk t.head (P.load_t t.head) in
     Mirror_core.Ebr.exit t.ebr;
     r
 
   let find_opt t k =
     Mirror_core.Ebr.enter t.ebr;
-    let rec walk (l : 'v link) =
+    let rec walk (field : 'v link P.t) (l : 'v link) =
       match l.target with
-      | None -> None
+      | None ->
+          ignore (P.load field);
+          None
       | Some curr ->
-          if curr.key < k then walk (P.load_t curr.next)
-          else if curr.key > k then None
-          else
+          if curr.key < k then walk curr.next (P.load_t curr.next)
+          else if curr.key > k then begin
+            ignore (P.load field);
+            None
+          end
+          else begin
+            ignore (P.load field);
             let cl = P.load curr.next in
             if cl.marked then None else Some curr.value
+          end
     in
-    let r = walk (P.load_t t.head) in
+    let r = walk t.head (P.load_t t.head) in
     Mirror_core.Ebr.exit t.ebr;
     r
 
@@ -98,7 +118,10 @@ module Make (P : Mirror_prim.Prim.S) = struct
       let pred_field, pred_link, curr = find t k in
       match curr with
       | Some c when c.key = k ->
-          (* key present: the deciding read is the destination *)
+          (* key present: the deciding reads are the link into [c] (its
+             reachability may rest on an insert another thread has not
+             persisted yet) and [c]'s own mark *)
+          ignore (P.load pred_field);
           ignore (P.load c.next);
           false
       | _ ->
@@ -124,8 +147,16 @@ module Make (P : Mirror_prim.Prim.S) = struct
     let rec attempt () =
       let pred_field, pred_link, curr = find t k in
       match curr with
-      | None -> false
-      | Some c when c.key <> k -> false
+      | None ->
+          (* absent: the deciding observation is [pred_field]'s link jumping
+             over [k]; persist it before returning (another thread's unlink
+             of the victim may still be volatile — found by the crash-point
+             model checker as a resurrected completed remove=false) *)
+          ignore (P.load pred_field);
+          false
+      | Some c when c.key <> k ->
+          ignore (P.load pred_field);
+          false
       | Some c ->
           let c_link = P.load c.next in
           if c_link.marked then

@@ -13,13 +13,22 @@ module Make (P : Mirror_prim.Prim.S) = struct
   type 'v node = { key : int; value : 'v; next : 'v link P.t array }
   and 'v link = { target : 'v node option; marked : bool }
 
-  type 'v t = { head : 'v link P.t array; ebr : Mirror_core.Ebr.t }
+  type 'v t = {
+    head : 'v link P.t array;
+    ebr : Mirror_core.Ebr.t;
+    rng : int ref;
+        (** tower-height xorshift state.  Per structure, not per domain, so
+            a run under the deterministic scheduler draws the same heights
+            on every replay of the same schedule (racy updates from real
+            domains are benign: heights are only a distribution). *)
+  }
 
   let create () =
     {
       head =
         Array.init max_level (fun _ -> P.make { target = None; marked = false });
       ebr = Mirror_core.Ebr.create ();
+      rng = ref 0x9E3779B9;
     }
 
   let same_target a b =
@@ -28,13 +37,9 @@ module Make (P : Mirror_prim.Prim.S) = struct
     | Some x, Some y -> x == y
     | _ -> false
 
-  (* geometric tower heights from a per-domain xorshift state *)
-  let rng_key : int ref Domain.DLS.key =
-    Domain.DLS.new_key (fun () ->
-        ref (((Domain.self () :> int) * 0x9E3779B9) lor 1))
-
-  let random_level () =
-    let s = Domain.DLS.get rng_key in
+  (* geometric tower heights from the structure's xorshift state *)
+  let random_level t =
+    let s = t.rng in
     let x = !s in
     let x = x lxor (x lsl 13) in
     let x = x lxor (x lsr 7) in
@@ -62,6 +67,15 @@ module Make (P : Mirror_prim.Prim.S) = struct
         if lv < 0 then true
         else
           let rec walk (arr : 'v link P.t array) (l : 'v link) =
+            if l.marked then false
+              (* The node we descended into from the level above was deleted
+                 at this level while we walked: its frozen, marked link box
+                 must never be returned as a CAS witness — an insert CASing
+                 against it (boxes compare by identity, so the mark is part
+                 of the compared word) would overwrite the mark, resurrecting
+                 the deleted node and linking behind an already-unlinked
+                 pred: a lost insert.  Restart from the head instead. *)
+            else
             match l.target with
             | Some curr ->
                 let cl = P.load_t curr.next.(lv) in
@@ -93,7 +107,11 @@ module Make (P : Mirror_prim.Prim.S) = struct
 
   let contains t k =
     Mirror_core.Ebr.enter t.ebr;
-    (* wait-free: skip marked nodes without unlinking *)
+    (* wait-free: skip marked nodes without unlinking.  A negative verdict
+       at the bottom level critically re-loads the field whose link proved
+       the key absent: that observation may hinge on an unlinking CAS some
+       other thread has not persisted yet, and the strategies whose [load]
+       flushes must make it durable before the result is exposed. *)
     let rec down lv (arr : 'v link P.t array) =
       let rec walk (arr : 'v link P.t array) =
         let l = P.load_t arr.(lv) in
@@ -104,11 +122,18 @@ module Make (P : Mirror_prim.Prim.S) = struct
             else if curr.key < k then walk curr.next
             else if lv > 0 then down (lv - 1) arr
             else begin
-              (* deciding read at the destination *)
+              (* deciding reads at the destination: the link into [curr]
+                 and [curr]'s own mark *)
+              ignore (P.load arr.(0));
               let cl' = P.load curr.next.(0) in
               curr.key = k && not cl'.marked
             end
-        | None -> if lv > 0 then down (lv - 1) arr else false
+        | None ->
+            if lv > 0 then down (lv - 1) arr
+            else begin
+              ignore (P.load arr.(0));
+              false
+            end
       and skip (cl : 'v link) =
         (* curr is marked: continue from its successor without unlinking *)
         match cl.target with
@@ -121,7 +146,12 @@ module Make (P : Mirror_prim.Prim.S) = struct
               let nl' = P.load nxt.next.(0) in
               nxt.key = k && not nl'.marked
             end
-        | None -> if lv > 0 then down (lv - 1) arr else false
+        | None ->
+            if lv > 0 then down (lv - 1) arr
+            else begin
+              ignore (P.load arr.(0));
+              false
+            end
       in
       walk arr
     in
@@ -135,10 +165,13 @@ module Make (P : Mirror_prim.Prim.S) = struct
       let pred_fields, pred_links, succs = find t k in
       match succs.(0) with
       | Some c when c.key = k ->
+          (* key present: persist the link into [c] (its reachability may
+             rest on a not-yet-persisted insert) and [c]'s own mark *)
+          ignore (P.load pred_fields.(0));
           ignore (P.load c.next.(0));
           false
       | _ ->
-          let lvl = random_level () in
+          let lvl = random_level t in
           Mirror_core.Alloc.count ~fields:lvl ();
           let node =
             {
@@ -193,6 +226,14 @@ module Make (P : Mirror_prim.Prim.S) = struct
     let pred_fields, _, succs = find t k in
     let r =
       match succs.(0) with
+      | Some victim when victim.key <> k ->
+          (* absent: persist the deciding link (it jumps over [k], possibly
+             only because of a not-yet-persisted unlink) *)
+          ignore (P.load pred_fields.(0));
+          false
+      | None ->
+          ignore (P.load pred_fields.(0));
+          false
       | Some victim when victim.key = k ->
           let lvl = Array.length victim.next in
           (* mark upper levels top-down *)
@@ -307,17 +348,25 @@ module Make (P : Mirror_prim.Prim.S) = struct
 
   let find_opt t k =
     Mirror_core.Ebr.enter t.ebr;
-    let rec walk (l : 'v link) =
+    let rec walk (field : 'v link P.t) (l : 'v link) =
       match l.target with
-      | None -> None
+      | None ->
+          ignore (P.load field);
+          None
       | Some n ->
-          if n.key < k then walk (P.load_t n.next.(0))
-          else if n.key > k then None
-          else
+          if n.key < k then walk n.next.(0) (P.load_t n.next.(0))
+          else if n.key > k then begin
+            (* absent: persist the deciding link (see [contains]) *)
+            ignore (P.load field);
+            None
+          end
+          else begin
+            ignore (P.load field);
             let nl = P.load n.next.(0) in
             if nl.marked then None else Some n.value
+          end
     in
-    let r = walk (P.load_t t.head.(0)) in
+    let r = walk t.head.(0) (P.load_t t.head.(0)) in
     Mirror_core.Ebr.exit t.ebr;
     r
 

@@ -7,8 +7,9 @@ module Make (P : Mirror_prim.Prim.S) : sig
 
   val max_level : int
 
-  val random_level : unit -> int
-  (** Geometric tower height from a per-domain PRNG (exposed for
+  val random_level : 'v t -> int
+  (** Geometric tower height from the structure's PRNG — per structure so
+      deterministic-scheduler replays draw identical heights (exposed for
       distribution tests). *)
 
   val create : unit -> 'v t

@@ -119,11 +119,26 @@ type result = {
   crashed_mid_run : bool;
 }
 
-(** Schedsim-based torture: [threads] logical tasks of [ops_per_task]
-    operations each, cut at [crash_step] scheduling decisions. *)
-let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
-    ~(recover : unit -> unit) ?(policy = Mirror_nvm.Region.Adversarial)
-    ~seed ~threads ~ops_per_task ~range ~mix ~crash_step () : result =
+(** A freshly created, prefilled structure together with the workload tasks
+    that mutate it and the workers recording the history those tasks
+    produce.  The cut-operation capture (an operation in flight when a crash
+    lands is logged as [pending], which {!validate} treats as optional) is
+    shared between the torture harness and the crash-point model checker, so
+    both check exactly the same histories. *)
+type capture = {
+  cap_workers : worker array;
+  cap_tasks : (unit -> unit) list;
+  cap_observed : unit -> (int * int) list;  (** quiesced contents *)
+  cap_recover : unit -> unit;  (** the structure's tracing routine *)
+}
+
+(** Build the standard mixed-workload capture over a packed set:
+    [threads] tasks of [ops_per_task] operations drawn from [mix], every
+    invocation/response timestamped on a shared logical clock.  Determinism:
+    the op stream depends only on [seed], so a replayed schedule re-executes
+    the identical history. *)
+let workload_capture (module S : Sets.SET) ~seed ~threads ~ops_per_task
+    ~range ~mix : capture =
   let t = S.create ~capacity:range () in
   List.iter
     (fun k -> ignore (S.insert t k k))
@@ -156,15 +171,28 @@ let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
       w.pending <- None
     done
   in
+  {
+    cap_workers = workers;
+    cap_tasks = List.init threads (fun i -> task i);
+    cap_observed = (fun () -> S.to_list t);
+    cap_recover = (fun () -> S.recover t);
+  }
+
+(** Schedsim-based torture: [threads] logical tasks of [ops_per_task]
+    operations each, cut at [crash_step] scheduling decisions. *)
+let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
+    ~(recover : unit -> unit) ?(policy = Mirror_nvm.Region.Adversarial)
+    ~seed ~threads ~ops_per_task ~range ~mix ~crash_step () : result =
+  let cap = workload_capture (module S) ~seed ~threads ~ops_per_task ~range ~mix in
   let outcome =
-    Mirror_schedsim.Sched.run ~seed ~max_steps:crash_step
-      (List.init threads (fun i -> task i))
+    Mirror_schedsim.Sched.run ~seed ~max_steps:crash_step cap.cap_tasks
   in
   Mirror_nvm.Region.crash ~policy region;
   recover ();
-  S.recover t;
+  cap.cap_recover ();
   Mirror_nvm.Region.mark_recovered region;
-  let observed = S.to_list t in
+  let observed = cap.cap_observed () in
+  let workers = cap.cap_workers in
   let violations =
     validate ~prefilled:Mirror_workload.Workload.is_prefilled ~range ~observed workers
   in

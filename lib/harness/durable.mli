@@ -42,6 +42,28 @@ type result = {
   crashed_mid_run : bool;
 }
 
+type capture = {
+  cap_workers : worker array;
+  cap_tasks : (unit -> unit) list;
+  cap_observed : unit -> (int * int) list;
+  cap_recover : unit -> unit;
+}
+(** A prefilled structure with its workload tasks and history-recording
+    workers, before any scheduling has happened.  Shared by the torture
+    harness and the crash-point model checker so both validate exactly the
+    same histories. *)
+
+val workload_capture :
+  (module Mirror_dstruct.Sets.SET) ->
+  seed:int ->
+  threads:int ->
+  ops_per_task:int ->
+  range:int ->
+  mix:Mirror_workload.Workload.mix ->
+  capture
+(** The op stream depends only on [seed]: replaying the same schedule over a
+    fresh capture re-executes the identical history. *)
+
 val torture_schedsim :
   (module Mirror_dstruct.Sets.SET) ->
   region:Mirror_nvm.Region.t ->

@@ -1,0 +1,114 @@
+(** Crash-point model checking for durable linearizability.
+
+    Where the torture harness ({!Mirror_harness.Durable}) samples crash
+    points by cutting a run after a random number of scheduler steps, this
+    checker {e enumerates} them: it records one reference execution under
+    the deterministic scheduler, notes every persist-relevant instruction
+    boundary (each clwb, sfence and DWCAS — including elided ones, plus the
+    first write shadowed by an elided fence), and then replays the identical
+    schedule once per boundary, pulling the plug just before that
+    instruction's effect.  Each replay runs recovery and asks the Wing–Gong
+    checker for a durable linearization of the cut history; a failure is
+    reported as a minimized counterexample replayable from three numbers:
+    the workload seed, the scheduler pick trace, and the crash index. *)
+
+type instance = {
+  tasks : (unit -> unit) list;  (** the workload, ready to schedule *)
+  crash_recover : unit -> unit;
+      (** power failure: apply the crash policy, run the structure's
+          recovery procedure, bring the region back up *)
+  validate : unit -> Mirror_harness.Durable.violation list;
+      (** durable-linearizability verdict over the recovered state *)
+}
+
+type scenario = seed:int -> instance
+(** A scenario builds a fresh, fully deterministic instance: two calls with
+    the same [seed] must produce runs that behave identically under the same
+    scheduler pick sequence.  (Fresh region, fresh structure, fresh
+    workers — nothing shared between calls.) *)
+
+type trace = {
+  events : Mirror_nvm.Hooks.persist_event array;
+      (** persist-relevant events of the reference run, in order *)
+  picks : int array;  (** the recorded scheduler choice sequence *)
+  completed : bool;
+}
+
+val record : scenario -> seed:int -> trace
+(** Run the reference (crash-free) execution under a recorded random
+    schedule, logging every persist event. *)
+
+val crash_points : ?deep:bool -> Mirror_nvm.Hooks.persist_event array -> int list
+(** Indices [i] such that crashing just before event [i] is worth checking:
+    every flush / fence / DWCAS boundary (elided or charged), each first
+    plain write after an elided flush or fence (the window the elision
+    optimisation claims is safe), and — always last — [Array.length events],
+    the crash after the run has quiesced.  [deep] additionally includes
+    every plain NVMM write.  Ascending. *)
+
+val run_crash_at :
+  scenario ->
+  seed:int ->
+  picks:int array ->
+  crash_at:int ->
+  Mirror_harness.Durable.violation list * bool
+(** Replay the recorded schedule over a fresh instance and crash the whole
+    system just before persist event number [crash_at] takes effect (an
+    index [>=] the number of events reached means the run completes and the
+    crash lands at quiescence).  Runs recovery, then validates.  Returns the
+    violations and whether the crash actually cut the run mid-flight. *)
+
+type counterexample = {
+  cx_seed : int;
+  cx_picks : int array;
+  cx_crash_at : int;
+  cx_violations : Mirror_harness.Durable.violation list;
+}
+
+val cx_to_string : counterexample -> string
+(** Compact replayable form: ["seed:crash_at:p0,p1,..."]. *)
+
+val cx_of_string : string -> int * int array * int
+(** Parse [cx_to_string]'s format back to [(seed, picks, crash_at)].
+    @raise Invalid_argument on malformed input. *)
+
+val replay : scenario -> seed:int -> picks:int array -> crash_at:int ->
+  Mirror_harness.Durable.violation list
+(** Re-run one recorded crash; the counterexample-reproduction entry
+    point. *)
+
+type report = {
+  events_total : int;  (** persist events in the reference run *)
+  points_total : int;  (** enumerable crash points *)
+  points_checked : int;  (** after budget subsampling *)
+  runs : int;  (** total executions, including shrinking *)
+  counterexample : counterexample option;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val check : ?deep:bool -> ?budget:int -> scenario -> seed:int -> report
+(** The model checker: record, enumerate, replay-with-crash at each point in
+    ascending order, stop at the first violation and shrink its pick trace
+    (truncated traces replay with pick-0 padding, so every shrunk trace is
+    still a complete schedule).  [budget] caps the number of crash points
+    checked; when exceeded they are subsampled at an even stride (the
+    quiescent end-of-run point is always kept) — the report records both
+    counts so truncation is visible. *)
+
+val set_scenario :
+  ds:Mirror_dstruct.Sets.ds ->
+  prim:string ->
+  ?policy:Mirror_nvm.Region.crash_policy ->
+  ?elide:bool ->
+  threads:int ->
+  ops_per_task:int ->
+  range:int ->
+  updates:int ->
+  unit ->
+  scenario
+(** The standard scenario over a packed set: mixed workload of
+    [threads x ops_per_task] operations on keys [< range] with [updates]%
+    updates, persistence strategy [prim] (see {!Mirror_prim.Prim.by_name}),
+    crash policy [policy] (default adversarial: only fenced write-backs
+    survive), flush/fence elision per [elide] (default off). *)

@@ -17,3 +17,39 @@ let with_yield f body =
   let saved = !yield_ref in
   yield_ref := f;
   Fun.protect ~finally:(fun () -> yield_ref := saved) body
+
+(* -- persist-point hook --------------------------------------------------- *)
+
+(** The substrate announces every persist-relevant instruction here *before*
+    it takes effect: a [clwb] ({!Slot.flush}), an [sfence] ({!Region.fence}),
+    the DWCAS / store on a persistent slot, and their elided variants.  A
+    no-op in production; the crash-point model checker ({!Mirror_mcheck})
+    installs a counter that pulls the plug exactly before the [i]-th event —
+    enumerating every boundary at which the persistent state is about to
+    change, instead of sampling step budgets. *)
+type persist_event =
+  | Flush  (** a [clwb] is about to record a write-back *)
+  | Flush_elided  (** an elided [clwb] (clean line, elision mode on) *)
+  | Fence  (** an [sfence] is about to commit this domain's write-backs *)
+  | Fence_elided  (** an elided [sfence] (nothing pending, elision on) *)
+  | Dwcas  (** a CAS on a persistent slot is about to execute *)
+  | Write  (** an unconditional store to a persistent slot *)
+
+let event_name = function
+  | Flush -> "flush"
+  | Flush_elided -> "flush-elided"
+  | Fence -> "fence"
+  | Fence_elided -> "fence-elided"
+  | Dwcas -> "dwcas"
+  | Write -> "write"
+
+let persist_ref : (persist_event -> unit) ref = ref (fun _ -> ())
+
+let persist_point ev = !persist_ref ev
+
+(** Install a persist-point hook for the duration of the callback
+    (exception-safe). *)
+let with_persist f body =
+  let saved = !persist_ref in
+  persist_ref := f;
+  Fun.protect ~finally:(fun () -> persist_ref := saved) body

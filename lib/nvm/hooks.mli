@@ -7,3 +7,23 @@ val yield : unit -> unit
 
 val with_yield : (unit -> unit) -> (unit -> 'a) -> 'a
 (** Install a hook for the duration of the callback (exception-safe). *)
+
+(** Persist-relevant instruction boundaries, announced by the substrate just
+    {e before} each takes effect.  A no-op in production; the crash-point
+    model checker installs a counter here to cut the execution exactly
+    before the [i]-th event. *)
+type persist_event =
+  | Flush
+  | Flush_elided
+  | Fence
+  | Fence_elided
+  | Dwcas
+  | Write
+
+val event_name : persist_event -> string
+val persist_ref : (persist_event -> unit) ref
+val persist_point : persist_event -> unit
+
+val with_persist : (persist_event -> unit) -> (unit -> 'a) -> 'a
+(** Install a persist-point hook for the duration of the callback
+    (exception-safe). *)

@@ -131,11 +131,13 @@ let add_pending t thunk =
 let fence t =
   let r = my_pending t in
   if t.elide && !r = [] then begin
+    Hooks.persist_point Hooks.Fence_elided;
     let s = Stats.get () in
     s.Stats.fence_elided <- s.Stats.fence_elided + 1;
     Hooks.yield ()
   end
   else begin
+    Hooks.persist_point Hooks.Fence;
     Stats.((get ()).fence <- (get ()).fence + 1);
     Latency.fence ();
     let thunks = !r in

@@ -69,6 +69,7 @@ let load t =
 let store t v =
   Hooks.yield ();
   check t;
+  Hooks.persist_point Hooks.Write;
   let s = Stats.get () in
   s.Stats.nvm_write <- s.Stats.nvm_write + 1;
   Latency.nvm_write ();
@@ -88,6 +89,7 @@ let store t v =
 let cas_pred t ~(expect : 'a -> bool) ~(desired : 'a) : bool * 'a =
   Hooks.yield ();
   check t;
+  Hooks.persist_point Hooks.Dwcas;
   let s = Stats.get () in
   s.Stats.nvm_cas <- s.Stats.nvm_cas + 1;
   Latency.nvm_write ();
@@ -134,10 +136,12 @@ let flush t =
   Hooks.yield ();
   check t;
   if Region.elision t.region && not (is_dirty t) then begin
+    Hooks.persist_point Hooks.Flush_elided;
     let s = Stats.get () in
     s.Stats.flush_elided <- s.Stats.flush_elided + 1
   end
   else begin
+    Hooks.persist_point Hooks.Flush;
     let s = Stats.get () in
     s.Stats.flush <- s.Stats.flush + 1;
     Latency.flush ();

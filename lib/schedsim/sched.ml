@@ -29,10 +29,12 @@ type outcome = {
 (** [run_with_picker ~pick ~max_steps tasks] drives [tasks] to completion or
     until [max_steps] scheduling points, whichever comes first.  [pick n]
     chooses which of the [n] currently runnable threads steps next.  When the
-    step budget is hit, all live fibers are discontinued with {!Killed} —
-    i.e. the system "crashes" with those operations cut mid-flight. *)
+    step budget is hit — or [stop ()] turns true, e.g. because a crash-point
+    hook fired inside the running fiber — all live fibers are discontinued
+    with {!Killed}: the system "crashes" with those operations cut
+    mid-flight. *)
 let run_with_picker ~(pick : int -> int) ?(max_steps = max_int)
-    (tasks : (unit -> unit) list) : outcome =
+    ?(stop = fun () -> false) (tasks : (unit -> unit) list) : outcome =
   let runnable : runnable list ref = ref (List.map (fun t -> Start t) tasks) in
   let steps = ref 0 in
   let take i =
@@ -70,7 +72,7 @@ let run_with_picker ~(pick : int -> int) ?(max_steps = max_int)
   Mirror_nvm.Hooks.with_yield yield_hook (fun () ->
       let crashed = ref false in
       while !runnable <> [] && not !crashed do
-        if !steps >= max_steps then begin
+        if !steps >= max_steps || stop () then begin
           crashed := true;
           (* cut every live fiber where it stands *)
           List.iter
@@ -94,6 +96,40 @@ let run_with_picker ~(pick : int -> int) ?(max_steps = max_int)
 let run ?(seed = 1) ?max_steps tasks =
   let rng = Random.State.make [| seed |] in
   run_with_picker ~pick:(fun n -> Random.State.int rng n) ?max_steps tasks
+
+(* -- recordable / replayable schedules ------------------------------------ *)
+
+(** [run_recorded ~seed tasks] schedules randomly from [seed] like {!run},
+    but also returns the exact sequence of choices taken, one per scheduling
+    decision.  Feeding that sequence to {!run_replay} over a fresh, otherwise
+    deterministic task set reproduces the execution step for step — the
+    foundation of the model checker's replayable counterexamples. *)
+let run_recorded ?(seed = 1) ?max_steps ?stop (tasks : (unit -> unit) list) :
+    outcome * int array =
+  let rng = Random.State.make [| seed |] in
+  let picks = ref [] in
+  let pick n =
+    let c = Random.State.int rng n in
+    picks := c :: !picks;
+    c
+  in
+  let outcome = run_with_picker ~pick ?max_steps ?stop tasks in
+  (outcome, Array.of_list (List.rev !picks))
+
+(** [run_replay ~picks tasks] re-executes a recorded schedule.  Choices
+    beyond the recorded prefix fall back to thread 0 (deterministic), so a
+    truncated trace is still a complete, replayable schedule — that is what
+    counterexample shrinking relies on.  Out-of-range choices are clamped the
+    same way {!run_with_picker} clamps them. *)
+let run_replay ~(picks : int array) ?max_steps ?stop
+    (tasks : (unit -> unit) list) : outcome =
+  let i = ref 0 in
+  let pick _n =
+    let c = if !i < Array.length picks then picks.(!i) else 0 in
+    incr i;
+    c
+  in
+  run_with_picker ~pick ?max_steps ?stop tasks
 
 (** [explore ~seeds factory] runs [factory ()]'s tasks under [seeds]
     different random schedules; [factory] must create fresh state each time

@@ -17,11 +17,37 @@ type outcome = {
 }
 
 val run_with_picker :
-  pick:(int -> int) -> ?max_steps:int -> (unit -> unit) list -> outcome
-(** [pick n] chooses among the [n] runnable threads. *)
+  pick:(int -> int) ->
+  ?max_steps:int ->
+  ?stop:(unit -> bool) ->
+  (unit -> unit) list ->
+  outcome
+(** [pick n] chooses among the [n] runnable threads.  [stop] is polled before
+    every scheduling decision; once true, all live fibers are discontinued
+    with {!Killed} — the crash-point model checker's way of pulling the plug
+    at an exact persist event rather than a step count. *)
 
 val run : ?seed:int -> ?max_steps:int -> (unit -> unit) list -> outcome
 (** Random scheduling from a seed. *)
+
+val run_recorded :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?stop:(unit -> bool) ->
+  (unit -> unit) list ->
+  outcome * int array
+(** Random scheduling from a seed, returning the recorded choice sequence
+    (one entry per scheduling decision) for {!run_replay}. *)
+
+val run_replay :
+  picks:int array ->
+  ?max_steps:int ->
+  ?stop:(unit -> bool) ->
+  (unit -> unit) list ->
+  outcome
+(** Replay a recorded schedule over a fresh task set.  Choices beyond the
+    recorded prefix fall back to thread 0, so truncated (shrunk) traces
+    remain complete schedules. *)
 
 val run_pct :
   ?seed:int ->

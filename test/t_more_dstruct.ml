@@ -33,9 +33,10 @@ let test_skiplist_levels () =
 
 let test_skiplist_random_level_distribution () =
   (* geometric: roughly half the towers have height 1, a quarter height 2 *)
+  let t = SL.create () in
   let counts = Array.make 21 0 in
   for _ = 1 to 20_000 do
-    let l = SL.random_level () in
+    let l = SL.random_level t in
     counts.(l) <- counts.(l) + 1
   done;
   check (counts.(1) > 8_000 && counts.(1) < 12_000) "~half at level 1";
