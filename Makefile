@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-smoke bench-full examples \
-        mcheck-smoke mcheck-deep clean
+        mcheck-smoke mcheck-deep psan-smoke clean
 
 all: build
 
@@ -51,6 +51,16 @@ mcheck-deep:
 	done
 	dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm \
 	  --seeds 5 --expect-violation
+
+# Persistency sanitizer, CI-sized: the psan test tier (violation fixtures,
+# clean sweep, W1/elision equivalence), then the smoke gate — every Mirror
+# structure under both placements must be sanitizer-clean, the non-Mirror
+# baselines must trip their expected violation classes, the sanitized run
+# must stay within 3x of the unsanitized one, and the W1 redundant-persist
+# counters land in psan_lint.csv for CI to archive next to the bench CSV.
+psan-smoke:
+	dune exec test/main.exe -- test psan
+	dune exec bin/psan_smoke.exe -- --csv psan_lint.csv
 
 examples:
 	dune exec examples/quickstart.exe

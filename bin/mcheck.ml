@@ -3,27 +3,54 @@
      dune exec bin/mcheck.exe -- --structure skiplist --prim mirror --seeds 3
      dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm --expect-violation
      dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm --replay "1:4:0,2,1"
+     dune exec bin/mcheck.exe -- --structure hash --prim mirror --psan
 
    Exit status: 0 when the verdict matches expectations (no violation, or a
    violation under --expect-violation), 1 otherwise — so CI can wire the
-   negative control in as a must-fail job. *)
+   negative control in as a must-fail job.  Unknown --structure / --prim
+   names exit 2 with the valid set printed; --list-structures prints both
+   vocabularies and exits 0. *)
 
 module M = Mirror_mcheck.Mcheck
 
-let ds_of_string = function
-  | "list" -> Mirror_dstruct.Sets.List_ds
-  | "hash" -> Mirror_dstruct.Sets.Hash_ds
-  | "bst" -> Mirror_dstruct.Sets.Bst_ds
-  | "skiplist" -> Mirror_dstruct.Sets.Skiplist_ds
-  | s -> invalid_arg ("unknown structure: " ^ s)
+let structure_names = List.map Mirror_dstruct.Sets.ds_name Mirror_dstruct.Sets.all_ds
 
-let main structure prim seed seeds budget threads ops range updates elide deep
-    expect_violation replay =
+let list_vocab () =
+  Format.printf "structures: %s@." (String.concat " " structure_names);
+  Format.printf "prims: %s@." (String.concat " " Mirror_prim.Prim.all_names)
+
+let main list_structures structure prim seed seeds budget threads ops range
+    updates elide deep psan expect_violation replay =
+  if list_structures then begin
+    list_vocab ();
+    exit 0
+  end;
+  (match Mirror_dstruct.Sets.ds_of_name structure with
+  | Some _ -> ()
+  | None ->
+      Format.eprintf "unknown structure %S; valid: %s@." structure
+        (String.concat " " structure_names);
+      exit 2);
+  if not (List.mem prim Mirror_prim.Prim.all_names) then begin
+    Format.eprintf "unknown prim %S; valid: %s@." prim
+      (String.concat " " Mirror_prim.Prim.all_names);
+    exit 2
+  end;
+  let ds = Option.get (Mirror_dstruct.Sets.ds_of_name structure) in
   let scenario =
-    M.set_scenario ~ds:(ds_of_string structure) ~prim ~elide ~threads
-      ~ops_per_task:ops ~range ~updates ()
+    M.set_scenario ~ds ~prim ~elide ~threads ~ops_per_task:ops ~range ~updates
+      ()
   in
   let found = ref false in
+  (* sanitizer pass before any crash enumeration: one crash-free reference
+     run per seed, with discipline violations flagged online *)
+  if psan && replay = None then
+    for s = seed to seed + seeds - 1 do
+      let r = M.psan_pass scenario ~seed:s in
+      Format.printf "psan %s/%s seed=%d: %a@." structure prim s
+        Mirror_psan.Psan.pp_report r;
+      if not (Mirror_psan.Psan.clean r) then found := true
+    done;
   (match replay with
   | Some s ->
       let seed, picks, crash_at = M.cx_of_string s in
@@ -57,6 +84,12 @@ let main structure prim seed seeds budget threads ops range updates elide deep
   end
 
 open Cmdliner
+
+let list_structures =
+  Arg.(
+    value & flag
+    & info [ "list-structures" ]
+        ~doc:"Print the valid structure and prim names and exit.")
 
 let structure =
   Arg.(
@@ -115,6 +148,15 @@ let deep =
     value & flag
     & info [ "deep" ] ~doc:"Also crash before every plain NVMM write.")
 
+let psan =
+  Arg.(
+    value & flag
+    & info [ "psan" ]
+        ~doc:
+          "Run the persistency sanitizer over one crash-free reference run \
+           per seed before crash enumeration; sanitizer violations count \
+           toward the verdict.")
+
 let expect_violation =
   Arg.(
     value & flag
@@ -139,7 +181,8 @@ let cmd =
          "Enumerate every persist-relevant crash point of a recorded \
           schedule and check durable linearizability at each.")
     Term.(
-      const main $ structure $ prim $ seed $ seeds $ budget $ threads $ ops
-      $ range $ updates $ elide $ deep $ expect_violation $ replay)
+      const main $ list_structures $ structure $ prim $ seed $ seeds $ budget
+      $ threads $ ops $ range $ updates $ elide $ deep $ psan
+      $ expect_violation $ replay)
 
 let () = exit (Cmd.eval' cmd)

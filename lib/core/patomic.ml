@@ -31,12 +31,31 @@ type placement =
   | Nvmm  (** volatile replica also in NVMM (the §6.3 configuration) *)
 
 type 'a t = {
+  uid : int;  (** pair identity carried on access events *)
   repv : 'a cell Atomic.t;
   repp : 'a cell Slot.t;
   placement : placement;
   valid : bool Atomic.t;  (** false between a crash and this variable's recovery *)
   region : Region.t;
 }
+
+let next_uid = Atomic.make 0
+
+(* Volatile-replica access events: attributed to the persistent replica's
+   slot uid so a slot's event trace shows the whole pair's history.  Call
+   sites gate on [Hooks.access_on]. *)
+let announce_repv t op ~seq =
+  Hooks.access_point
+    {
+      Hooks.a_op = op;
+      a_slot = Slot.uid t.repp;
+      a_pair = t.uid;
+      a_region = Region.id t.region;
+      a_domain = (Domain.self () :> int);
+      a_tid = Hooks.tid ();
+      a_seq = seq;
+      a_protocol = Hooks.in_protocol ();
+    }
 
 (* Double-word CAS on the volatile replica: compare value (physical equality,
    as a hardware word compare) and sequence number, install atomically. *)
@@ -51,9 +70,17 @@ let dwcas_v (a : 'a cell Atomic.t) ~(expected : 'a cell) ~(desired : 'a cell) =
 
 let make ?(placement = Dram) ?(persist = true) region v =
   let c = { v; seq = 0 } in
-  let repp = Slot.make ~persist region c in
+  let uid = Atomic.fetch_and_add next_uid 1 in
+  let repp = Slot.make ~persist ~pair:uid ~seq_of:(fun c -> c.seq) region c in
   let t =
-    { repv = Atomic.make c; repp; placement; valid = Atomic.make true; region }
+    {
+      uid;
+      repv = Atomic.make c;
+      repp;
+      placement;
+      valid = Atomic.make true;
+      region;
+    }
   in
   if persist then begin
     (* allocation-time copy to NVMM + clwb (paper §4.3.2): charged here,
@@ -82,7 +109,9 @@ let read_repv t =
   | Nvmm ->
       s.Stats.nvm_read <- s.Stats.nvm_read + 1;
       Latency.nvm_read ());
-  Atomic.get t.repv
+  let c = Atomic.get t.repv in
+  if !Hooks.access_on then announce_repv t Hooks.A_load_repv ~seq:c.seq;
+  c
 
 let write_repv t ~expected ~desired =
   Hooks.yield ();
@@ -92,7 +121,10 @@ let write_repv t ~expected ~desired =
   | Nvmm ->
       s.Stats.nvm_cas <- s.Stats.nvm_cas + 1;
       Latency.nvm_write ());
-  dwcas_v t.repv ~expected ~desired
+  let ok = dwcas_v t.repv ~expected ~desired in
+  if ok && !Hooks.access_on then
+    announce_repv t Hooks.A_write_repv ~seq:desired.seq;
+  ok
 
 (** Figure 5: a load is a single wait-free read of the volatile replica. *)
 let load t =
@@ -112,7 +144,7 @@ let persist_repp t =
 (** Figure 4: [compare_exchange t ~expected ~desired] returns
     [(success, witness)] where [witness] is the value found when the
     operation failed ([expected] itself on success). *)
-let rec compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
+let rec compare_exchange_body t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
   check t;
   let s = Stats.get () in
   (* read repp then repv (lines 5–16; the seq/val/seq re-read of the paper is
@@ -126,12 +158,12 @@ let rec compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
     persist_repp t;
     ignore (write_repv t ~expected:vc ~desired:pc);
     s.Stats.cas_retry <- s.Stats.cas_retry + 1;
-    compare_exchange t ~expected ~desired
+    compare_exchange_body t ~expected ~desired
   end
   else if pc.seq <> vc.seq then begin
     (* inconsistent snapshot; retry (line 29) *)
     s.Stats.cas_retry <- s.Stats.cas_retry + 1;
-    compare_exchange t ~expected ~desired
+    compare_exchange_body t ~expected ~desired
   end
   else if not (pc.v == expected) then (false, pc.v) (* lines 32–35 *)
   else begin
@@ -151,7 +183,7 @@ let rec compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
       (* seq changed but the value is still the expected one: a regular CAS
          must succeed, so restart (line 46) *)
       s.Stats.cas_retry <- s.Stats.cas_retry + 1;
-      compare_exchange t ~expected ~desired
+      compare_exchange_body t ~expected ~desired
     end
     else begin
       (* help the winner become visible, then fail (line 47) *)
@@ -159,6 +191,18 @@ let rec compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
       (false, wit.v)
     end
   end
+
+(* Public entry: the whole protocol runs inside a sanitizer "protocol
+   section" so its internal persistent-replica reads are sanctioned (psan's
+   V1 check flags [Slot] reads only *outside* such sections).  Exception-safe:
+   the scheduler may kill a fiber mid-operation via [discontinue]. *)
+let compare_exchange t ~(expected : 'a) ~(desired : 'a) : bool * 'a =
+  if !Hooks.access_on then begin
+    Hooks.protocol_enter ();
+    Fun.protect ~finally:Hooks.protocol_exit (fun () ->
+        compare_exchange_body t ~expected ~desired)
+  end
+  else compare_exchange_body t ~expected ~desired
 
 let cas t ~expected ~desired = fst (compare_exchange t ~expected ~desired)
 

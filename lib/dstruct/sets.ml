@@ -82,11 +82,16 @@ end
 
 type ds = List_ds | Hash_ds | Bst_ds | Skiplist_ds
 
+let all_ds = [ List_ds; Hash_ds; Bst_ds; Skiplist_ds ]
+
 let ds_name = function
   | List_ds -> "list"
   | Hash_ds -> "hash"
   | Bst_ds -> "bst"
   | Skiplist_ds -> "skiplist"
+
+let ds_of_name name =
+  List.find_opt (fun ds -> ds_name ds = name) all_ds
 
 let make (ds : ds) (prim : Mirror_prim.Prim.pack) : pack =
   let module P = (val prim : Mirror_prim.Prim.S) in

@@ -31,7 +31,12 @@ module Of_skiplist (P : Mirror_prim.Prim.S) : SET
 
 type ds = List_ds | Hash_ds | Bst_ds | Skiplist_ds
 
+val all_ds : ds list
+
 val ds_name : ds -> string
+
+val ds_of_name : string -> ds option
+(** Inverse of {!ds_name}; [None] on unknown names. *)
 
 val make : ds -> Mirror_prim.Prim.pack -> pack
 (** Build the packed set for one (structure, strategy) pair. *)

@@ -117,6 +117,8 @@ type result = {
   completed_ops : int;
   inflight_ops : int;
   crashed_mid_run : bool;
+  psan : Mirror_psan.Psan.report option;
+      (** sanitizer report when the run was sanitized ([?psan]) *)
 }
 
 (** A freshly created, prefilled structure together with the workload tasks
@@ -160,12 +162,16 @@ let workload_capture (module S : Sets.SET) ~seed ~threads ~ops_per_task
       in
       let inv = Atomic.fetch_and_add clock 1 in
       w.pending <- Some (key, kind, inv);
+      (* operation boundaries for the sanitizer: the taint window of each
+         logical operation is begin..complete (free when psan is off) *)
+      Mirror_nvm.Hooks.op_point Mirror_nvm.Hooks.Op_begin;
       let ok =
         match kind with
         | K_lookup -> S.contains t key
         | K_insert -> S.insert t key key
         | K_remove -> S.remove t key
       in
+      Mirror_nvm.Hooks.op_point Mirror_nvm.Hooks.Op_complete;
       let resp = Atomic.fetch_and_add clock 1 in
       w.log <- { key; kind; inv; resp; ok = Some ok } :: w.log;
       w.pending <- None
@@ -182,10 +188,23 @@ let workload_capture (module S : Sets.SET) ~seed ~threads ~ops_per_task
     operations each, cut at [crash_step] scheduling decisions. *)
 let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
     ~(recover : unit -> unit) ?(policy = Mirror_nvm.Region.Adversarial)
-    ~seed ~threads ~ops_per_task ~range ~mix ~crash_step () : result =
-  let cap = workload_capture (module S) ~seed ~threads ~ops_per_task ~range ~mix in
-  let outcome =
-    Mirror_schedsim.Sched.run ~seed ~max_steps:crash_step cap.cap_tasks
+    ?psan ~seed ~threads ~ops_per_task ~range ~mix ~crash_step () : result =
+  (* the sanitizer shadows everything from structure creation to the crash:
+     prefill, the scheduled workload, and the cut itself *)
+  let sanitized body =
+    match psan with
+    | None -> body ()
+    | Some sa -> Mirror_psan.Psan.install sa body
+  in
+  let cap, outcome =
+    sanitized (fun () ->
+        let cap =
+          workload_capture (module S) ~seed ~threads ~ops_per_task ~range ~mix
+        in
+        let outcome =
+          Mirror_schedsim.Sched.run ~seed ~max_steps:crash_step cap.cap_tasks
+        in
+        (cap, outcome))
   in
   Mirror_nvm.Region.crash ~policy region;
   recover ();
@@ -205,6 +224,7 @@ let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
     completed_ops = completed;
     inflight_ops = inflight;
     crashed_mid_run = not outcome.completed;
+    psan = Option.map Mirror_psan.Psan.report psan;
   }
 
 (** Domain-based torture: real parallelism, crash at operation boundaries
@@ -261,4 +281,10 @@ let torture_domains (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
     validate ~prefilled:Mirror_workload.Workload.is_prefilled ~range ~observed workers
   in
   let completed = Array.fold_left (fun a w -> a + List.length w.log) 0 workers in
-  { violations; completed_ops = completed; inflight_ops = 0; crashed_mid_run = false }
+  {
+    violations;
+    completed_ops = completed;
+    inflight_ops = 0;
+    crashed_mid_run = false;
+    psan = None;
+  }

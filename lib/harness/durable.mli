@@ -40,6 +40,8 @@ type result = {
   completed_ops : int;
   inflight_ops : int;
   crashed_mid_run : bool;
+  psan : Mirror_psan.Psan.report option;
+      (** sanitizer report when the run was sanitized ([?psan]) *)
 }
 
 type capture = {
@@ -69,6 +71,7 @@ val torture_schedsim :
   region:Mirror_nvm.Region.t ->
   recover:(unit -> unit) ->
   ?policy:Mirror_nvm.Region.crash_policy ->
+  ?psan:Mirror_psan.Psan.t ->
   seed:int ->
   threads:int ->
   ops_per_task:int ->
@@ -78,7 +81,9 @@ val torture_schedsim :
   unit ->
   result
 (** Logical tasks under the deterministic scheduler, cut at [crash_step]
-    scheduling decisions — crashes land in the middle of operations. *)
+    scheduling decisions — crashes land in the middle of operations.
+    [psan]: attach the persistency sanitizer for the whole run (prefill
+    through crash); its report lands in {!result.psan}. *)
 
 val torture_domains :
   (module Mirror_dstruct.Sets.SET) ->

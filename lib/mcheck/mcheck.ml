@@ -246,6 +246,24 @@ let check ?(deep = false) ?(budget = max_int) (scenario : scenario) ~seed :
     counterexample;
   }
 
+(* -- sanitizer pass --------------------------------------------------------------- *)
+
+(** One crash-free reference run of the scenario under the persistency
+    sanitizer: instance construction (prefill included) and the whole
+    scheduled workload are shadowed.  Violations found here are discipline
+    bugs visible without any crash enumeration — run it before {!check} as
+    a cheap first line of defense; the report's seed replays the schedule
+    that produced each finding. *)
+let psan_pass (scenario : scenario) ~seed : Mirror_psan.Psan.report =
+  let sa = Mirror_psan.Psan.create ~seed () in
+  Mirror_psan.Psan.install sa (fun () ->
+      let inst = scenario ~seed in
+      let (_ : Sched.outcome * int array) =
+        Sched.run_recorded ~seed inst.tasks
+      in
+      ());
+  Mirror_psan.Psan.report sa
+
 (* -- the standard set-workload scenario ------------------------------------------ *)
 
 let set_scenario ~ds ~prim ?(policy = Mirror_nvm.Region.Adversarial)

@@ -96,6 +96,14 @@ val check : ?deep:bool -> ?budget:int -> scenario -> seed:int -> report
     quiescent end-of-run point is always kept) — the report records both
     counts so truncation is visible. *)
 
+val psan_pass : scenario -> seed:int -> Mirror_psan.Psan.report
+(** One crash-free reference run under the persistency sanitizer
+    ({!Mirror_psan.Psan}): instance construction (prefill included) and
+    the scheduled workload are shadowed, and discipline violations
+    (hot-path persistent reads, unpersisted dependences, replica-band
+    breaks, cross-thread persist ordering) are flagged online — no crash
+    enumeration needed.  A cheap first pass before {!check}. *)
+
 val set_scenario :
   ds:Mirror_dstruct.Sets.ds ->
   prim:string ->

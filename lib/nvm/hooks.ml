@@ -53,3 +53,146 @@ let with_persist f body =
   let saved = !persist_ref in
   persist_ref := f;
   Fun.protect ~finally:(fun () -> persist_ref := saved) body
+
+(* -- logical thread identity ---------------------------------------------- *)
+
+(** The identity of the logical thread performing the current access.  In
+    normal execution a logical thread is an OS domain; under the
+    deterministic scheduler every fiber is a logical thread, and the
+    scheduler installs a resolver here so instrumentation (the persistency
+    sanitizer) can attribute accesses to fibers rather than to the single
+    shared domain. *)
+let default_tid () = (Domain.self () :> int)
+
+let tid_ref : (unit -> int) ref = ref default_tid
+let tid () = !tid_ref ()
+
+let with_tid f body =
+  let saved = !tid_ref in
+  tid_ref := f;
+  Fun.protect ~finally:(fun () -> tid_ref := saved) body
+
+(* -- structured access events --------------------------------------------- *)
+
+(** The structured successor of {!persist_event}: every substrate access —
+    loads and DWCASes of persistent slots, volatile-replica reads/writes of
+    a Mirror variable, flushes and fences, charged or elided — is announced
+    here {e after} its effect, carrying the identity of the memory location
+    (slot uid, owning Mirror pair if any, region), the acting logical
+    thread and OS domain, and the value sequence number involved.  The old
+    single-constructor arity ({!persist_point}, fired {e before} the
+    effect) is kept unchanged for the crash-point model checker; this
+    channel feeds the persistency sanitizer ({!Mirror_psan.Psan}).
+
+    Announcements are gated on {!access_on} at every call site so that the
+    un-instrumented hot path pays one boolean load and nothing else. *)
+type access_op =
+  | A_load  (** data load from a persistent slot *)
+  | A_store  (** unconditional store to a persistent slot *)
+  | A_cas of bool  (** DWCAS on a persistent slot (success?) *)
+  | A_flush  (** charged [clwb] of a slot *)
+  | A_flush_elided  (** elided [clwb] (clean line, elision mode on) *)
+  | A_fence  (** charged [sfence] on a region *)
+  | A_fence_elided  (** elided [sfence] (nothing pending, elision on) *)
+  | A_load_repv  (** read of a Mirror variable's volatile replica *)
+  | A_write_repv  (** successful advance of a volatile replica *)
+  | A_make of bool  (** slot allocation (starts persisted?) *)
+
+type access = {
+  a_op : access_op;
+  a_slot : int;  (** slot uid; [-1] for fences *)
+  a_pair : int;  (** owning Mirror pair uid; [-1] when not a replica *)
+  a_region : int;  (** region id *)
+  a_domain : int;  (** OS domain of the access *)
+  a_tid : int;  (** logical thread ({!tid}) of the access *)
+  a_seq : int;  (** slot version / cell seq involved; [-1] n/a *)
+  a_protocol : bool;  (** inside a sanctioned protocol section *)
+}
+
+let access_op_name = function
+  | A_load -> "load"
+  | A_store -> "store"
+  | A_cas true -> "cas-ok"
+  | A_cas false -> "cas-fail"
+  | A_flush -> "flush"
+  | A_flush_elided -> "flush-elided"
+  | A_fence -> "fence"
+  | A_fence_elided -> "fence-elided"
+  | A_load_repv -> "load-repv"
+  | A_write_repv -> "write-repv"
+  | A_make true -> "make-persisted"
+  | A_make false -> "make"
+
+let access_on = ref false
+let access_ref : (access -> unit) ref = ref (fun _ -> ())
+let access_point a = !access_ref a
+
+(** Install an access hook (and flip {!access_on}) for the duration of the
+    callback (exception-safe).  The previous consumer is restored on exit,
+    so instrumented sections nest. *)
+let with_access f body =
+  let saved_on = !access_on in
+  let saved = !access_ref in
+  access_ref := f;
+  access_on := true;
+  Fun.protect
+    ~finally:(fun () ->
+      access_ref := saved;
+      access_on := saved_on)
+    body
+
+(* -- protocol sections ----------------------------------------------------- *)
+
+(* The Mirror protocol legitimately reads its persistent replica inside
+   [compare_exchange] — the discipline only forbids *data* reads of
+   persistent memory on the hot path.  [Patomic] brackets its protocol body
+   here so the sanitizer can tell the two apart.  Depth is tracked per
+   logical thread; the table is only touched while instrumentation is on. *)
+let protocol_mutex = Mutex.create ()
+let protocol_depth : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let protocol_enter () =
+  if !access_on then begin
+    let t = tid () in
+    Mutex.lock protocol_mutex;
+    let d = Option.value ~default:0 (Hashtbl.find_opt protocol_depth t) in
+    Hashtbl.replace protocol_depth t (d + 1);
+    Mutex.unlock protocol_mutex
+  end
+
+let protocol_exit () =
+  if !access_on then begin
+    let t = tid () in
+    Mutex.lock protocol_mutex;
+    (match Hashtbl.find_opt protocol_depth t with
+    | Some d when d > 1 -> Hashtbl.replace protocol_depth t (d - 1)
+    | Some _ -> Hashtbl.remove protocol_depth t
+    | None -> ());
+    Mutex.unlock protocol_mutex
+  end
+
+let in_protocol () =
+  if not !access_on then false
+  else begin
+    let t = tid () in
+    Mutex.lock protocol_mutex;
+    let r = Hashtbl.mem protocol_depth t in
+    Mutex.unlock protocol_mutex;
+    r
+  end
+
+(* -- operation boundaries --------------------------------------------------- *)
+
+(** Harnesses announce the boundaries of each logical operation here (the
+    acting thread is {!tid}); the sanitizer checks its taint set — "does
+    this completed operation's result depend on an unpersisted write?" — at
+    every [Op_complete].  Free when instrumentation is off. *)
+type op_mark = Op_begin | Op_complete
+
+let op_ref : (op_mark -> unit) ref = ref (fun _ -> ())
+let op_point m = if !access_on then !op_ref m
+
+let with_op f body =
+  let saved = !op_ref in
+  op_ref := f;
+  Fun.protect ~finally:(fun () -> op_ref := saved) body

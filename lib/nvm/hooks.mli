@@ -27,3 +27,83 @@ val persist_point : persist_event -> unit
 val with_persist : (persist_event -> unit) -> (unit -> 'a) -> 'a
 (** Install a persist-point hook for the duration of the callback
     (exception-safe). *)
+
+(** {1 Logical thread identity}
+
+    A resolver for "which logical thread is performing the current
+    access".  Defaults to the OS domain id; the deterministic scheduler
+    installs a per-fiber resolver so instrumentation can attribute
+    accesses to fibers. *)
+
+val default_tid : unit -> int
+val tid_ref : (unit -> int) ref
+val tid : unit -> int
+val with_tid : (unit -> int) -> (unit -> 'a) -> 'a
+
+(** {1 Structured access events}
+
+    The structured successor of {!persist_event}: every substrate access
+    is announced {e after} its effect with location identity (slot,
+    owning Mirror pair, region), acting thread/domain, and the value
+    sequence number involved.  {!persist_point} keeps its original arity
+    and before-the-effect timing for the crash-point model checker; this
+    channel feeds the persistency sanitizer. *)
+
+type access_op =
+  | A_load
+  | A_store
+  | A_cas of bool
+  | A_flush
+  | A_flush_elided
+  | A_fence
+  | A_fence_elided
+  | A_load_repv
+  | A_write_repv
+  | A_make of bool
+
+type access = {
+  a_op : access_op;
+  a_slot : int;  (** slot uid; [-1] for fences *)
+  a_pair : int;  (** owning Mirror pair uid; [-1] when not a replica *)
+  a_region : int;  (** region id *)
+  a_domain : int;  (** OS domain of the access *)
+  a_tid : int;  (** logical thread ({!tid}) of the access *)
+  a_seq : int;  (** slot version / cell seq involved; [-1] n/a *)
+  a_protocol : bool;  (** inside a sanctioned protocol section *)
+}
+
+val access_op_name : access_op -> string
+
+val access_on : bool ref
+(** Gate checked by every announcing call site: when false (production,
+    benches), instrumentation costs one boolean load. *)
+
+val access_ref : (access -> unit) ref
+val access_point : access -> unit
+
+val with_access : (access -> unit) -> (unit -> 'a) -> 'a
+(** Install an access hook and flip {!access_on} for the duration of the
+    callback (exception-safe, nestable). *)
+
+(** {1 Protocol sections}
+
+    The Mirror primitive brackets its protocol body so the sanitizer can
+    distinguish sanctioned internal reads of the persistent replica from
+    hot-path data reads.  Depth is tracked per logical thread and only
+    while {!access_on}. *)
+
+val protocol_enter : unit -> unit
+val protocol_exit : unit -> unit
+val in_protocol : unit -> bool
+
+(** {1 Operation boundaries}
+
+    Harnesses announce each logical operation's begin/complete (for the
+    acting {!tid}); the sanitizer checks persist-before-depend obligations
+    at every [Op_complete].  Free when instrumentation is off. *)
+
+type op_mark = Op_begin | Op_complete
+
+val op_ref : (op_mark -> unit) ref
+val op_point : op_mark -> unit
+val with_op : (op_mark -> unit) -> (unit -> 'a) -> 'a

@@ -78,6 +78,22 @@ let is_down t = t.down
 let crash_count t = t.crashes
 let set_elide t b = t.elide <- b
 let elision t = t.elide
+let id t = t.id
+
+(* Fences have no slot identity; announce with the region and the acting
+   thread/domain (gated on [Hooks.access_on] at the call site). *)
+let announce_fence t op =
+  Hooks.access_point
+    {
+      Hooks.a_op = op;
+      a_slot = -1;
+      a_pair = -1;
+      a_region = t.id;
+      a_domain = (Domain.self () :> int);
+      a_tid = Hooks.tid ();
+      a_seq = -1;
+      a_protocol = Hooks.in_protocol ();
+    }
 
 let check_up t =
   if t.down then
@@ -134,6 +150,7 @@ let fence t =
     Hooks.persist_point Hooks.Fence_elided;
     let s = Stats.get () in
     s.Stats.fence_elided <- s.Stats.fence_elided + 1;
+    if !Hooks.access_on then announce_fence t Hooks.A_fence_elided;
     Hooks.yield ()
   end
   else begin
@@ -143,6 +160,7 @@ let fence t =
     let thunks = !r in
     r := [];
     List.iter (fun f -> f ()) thunks;
+    if !Hooks.access_on then announce_fence t Hooks.A_fence;
     Hooks.yield ()
   end
 

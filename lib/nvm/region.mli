@@ -36,6 +36,9 @@ val create :
 val is_down : t -> bool
 (** True between a {!crash} and {!mark_recovered}. *)
 
+val id : t -> int
+(** Region identity carried on access events. *)
+
 val crash_count : t -> int
 
 val set_elide : t -> bool -> unit

@@ -18,12 +18,38 @@ type 'a entry = { v : 'a; ver : int }
 
 type 'a t = {
   region : Region.t;
+  uid : int;  (** global location identity, for access-event attribution *)
+  pair : int;  (** owning Mirror pair uid, [-1] when not a replica *)
+  seq_of : ('a -> int) option;
+      (** value-seq extractor for access events: Mirror passes the cell's
+          sequence number so slot events and replica events share one
+          namespace; plain slots fall back to the internal line version *)
   current : 'a entry Atomic.t;
   persisted : 'a entry option Atomic.t;
   lost : bool Atomic.t;
       (** set when a crash hits a slot that was never persisted: its
           post-crash content is garbage, and any access is a detected bug *)
 }
+
+let next_uid = Atomic.make 0
+
+let entry_seq t (e : 'a entry) =
+  match t.seq_of with Some f -> f e.v | None -> e.ver
+
+(* Announce one structured access event (gated: call sites check
+   [Hooks.access_on] first so the uninstrumented path pays one load). *)
+let announce t op ~seq =
+  Hooks.access_point
+    {
+      Hooks.a_op = op;
+      a_slot = t.uid;
+      a_pair = t.pair;
+      a_region = Region.id t.region;
+      a_domain = (Domain.self () :> int);
+      a_tid = Hooks.tid ();
+      a_seq = seq;
+      a_protocol = Hooks.in_protocol ();
+    }
 
 let rec persist_monotone t (e : 'a entry) =
   match Atomic.get t.persisted with
@@ -32,11 +58,14 @@ let rec persist_monotone t (e : 'a entry) =
       if not (Atomic.compare_and_set t.persisted old (Some e)) then
         persist_monotone t e
 
-let make ?(persist = false) region v =
+let make ?(persist = false) ?(pair = -1) ?seq_of region v =
   let e = { v; ver = 0 } in
   let t =
     {
       region;
+      uid = Atomic.fetch_and_add next_uid 1;
+      pair;
+      seq_of;
       current = Atomic.make e;
       persisted = Atomic.make (if persist then Some e else None);
       lost = Atomic.make false;
@@ -47,6 +76,7 @@ let make ?(persist = false) region v =
       match Atomic.get t.persisted with
       | Some p -> Atomic.set t.current p
       | None -> Atomic.set t.lost true);
+  if !Hooks.access_on then announce t (Hooks.A_make persist) ~seq:(entry_seq t e);
   t
 
 let check t =
@@ -63,7 +93,9 @@ let load t =
   let s = Stats.get () in
   s.Stats.nvm_read <- s.Stats.nvm_read + 1;
   Latency.nvm_read ();
-  (Atomic.get t.current).v
+  let e = Atomic.get t.current in
+  if !Hooks.access_on then announce t Hooks.A_load ~seq:(entry_seq t e);
+  e.v
 
 (** Unconditional store.  Versions stay monotone under concurrency. *)
 let store t v =
@@ -76,8 +108,10 @@ let store t v =
   let rec go () =
     let cur = Atomic.get t.current in
     let e = { v; ver = cur.ver + 1 } in
-    if Atomic.compare_and_set t.current cur e then
+    if Atomic.compare_and_set t.current cur e then begin
+      if !Hooks.access_on then announce t Hooks.A_store ~seq:(entry_seq t e);
       Region.maybe_evict t.region (fun () -> persist_monotone t e)
+    end
     else go ()
   in
   go ()
@@ -98,12 +132,18 @@ let cas_pred t ~(expect : 'a -> bool) ~(desired : 'a) : bool * 'a =
     if expect cur.v then begin
       let e = { v = desired; ver = cur.ver + 1 } in
       if Atomic.compare_and_set t.current cur e then begin
+        if !Hooks.access_on then
+          announce t (Hooks.A_cas true) ~seq:(entry_seq t e);
         Region.maybe_evict t.region (fun () -> persist_monotone t e);
         (true, cur.v)
       end
       else go ()
     end
-    else (false, cur.v)
+    else begin
+      if !Hooks.access_on then
+        announce t (Hooks.A_cas false) ~seq:(entry_seq t cur);
+      (false, cur.v)
+    end
   in
   go ()
 
@@ -138,7 +178,9 @@ let flush t =
   if Region.elision t.region && not (is_dirty t) then begin
     Hooks.persist_point Hooks.Flush_elided;
     let s = Stats.get () in
-    s.Stats.flush_elided <- s.Stats.flush_elided + 1
+    s.Stats.flush_elided <- s.Stats.flush_elided + 1;
+    if !Hooks.access_on then
+      announce t Hooks.A_flush_elided ~seq:(entry_seq t (Atomic.get t.current))
   end
   else begin
     Hooks.persist_point Hooks.Flush;
@@ -146,7 +188,8 @@ let flush t =
     s.Stats.flush <- s.Stats.flush + 1;
     Latency.flush ();
     let snapshot = Atomic.get t.current in
-    Region.add_pending t.region (fun () -> persist_monotone t snapshot)
+    Region.add_pending t.region (fun () -> persist_monotone t snapshot);
+    if !Hooks.access_on then announce t Hooks.A_flush ~seq:(entry_seq t snapshot)
   end
 
 (** Recovery write: store + immediate durability, usable while the region
@@ -169,3 +212,5 @@ let peek t = (Atomic.get t.current).v
 
 let is_lost t = Atomic.get t.lost
 let region t = t.region
+let uid t = t.uid
+let pair t = t.pair

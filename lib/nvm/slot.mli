@@ -10,9 +10,15 @@
 
 type 'a t
 
-val make : ?persist:bool -> Region.t -> 'a -> 'a t
+val make :
+  ?persist:bool -> ?pair:int -> ?seq_of:('a -> int) -> Region.t -> 'a -> 'a t
 (** Fresh slot holding [v].  [persist] (default [false]) marks the initial
-    value as already durable — allocation-time persistence. *)
+    value as already durable — allocation-time persistence.  [pair]
+    (default [-1]) records the uid of the Mirror variable this slot is the
+    persistent replica of, for access-event attribution.  [seq_of] extracts
+    the value-sequence number announced on access events (Mirror passes the
+    cell's seq so replica events share one namespace); the default is the
+    slot's internal line version. *)
 
 val load : 'a t -> 'a
 (** Load from NVMM, paying the NVMM read cost. *)
@@ -53,3 +59,9 @@ val is_lost : 'a t -> bool
     subsequent access is a detected use-of-garbage bug. *)
 
 val region : 'a t -> Region.t
+
+val uid : 'a t -> int
+(** Global location identity carried on this slot's access events. *)
+
+val pair : 'a t -> int
+(** Owning Mirror pair uid ([-1] when the slot is not a replica). *)

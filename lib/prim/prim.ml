@@ -306,6 +306,12 @@ let all_for (region : Region.t) : pack list =
     (module Mirror_nvmm (R) : S);
   ]
 
+(* Kept in sync with [all_for] by the test suite; static so CLIs can print
+   the valid set without instantiating a region. *)
+let all_names =
+  [ "orig-dram"; "orig-nvmm"; "izraelevitz"; "nvtraverse"; "mirror";
+    "mirror-nvmm" ]
+
 let by_name (region : Region.t) (name : string) : pack =
   match
     List.find_opt (fun (module P : S) -> P.name = name) (all_for region)

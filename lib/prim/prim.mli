@@ -74,6 +74,10 @@ module Mirror_nvmm (_ : REGION) : S
 val all_for : Mirror_nvm.Region.t -> pack list
 (** All six strategies over one region, for harness enumeration. *)
 
+val all_names : string list
+(** The strategy names accepted by {!by_name}, in {!all_for} order —
+    static, so CLIs can print the valid set without a region. *)
+
 val by_name : Mirror_nvm.Region.t -> string -> pack
 (** Strategy by name ("orig-dram", "orig-nvmm", "izraelevitz",
     "nvtraverse", "mirror", "mirror-nvmm").

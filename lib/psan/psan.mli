@@ -1,0 +1,75 @@
+(** PSan: an always-on persistency sanitizer for the Mirror discipline.
+
+    Processes every {!Mirror_nvm.Hooks.access_point} event online (O(1)
+    per event) and flags persist-order violations as they happen,
+    complementing the crash-point model checker:
+
+    - {b V1}: hot-path read of persistent memory (a {!Mirror_nvm.Slot}
+      load outside a sanctioned protocol section);
+    - {b V2}: a completed operation depends on a write no completed
+      flush + fence covers (durable linearizability broken);
+    - {b V3}: the Lemma 5.4 replica band or the Lemma 5.5 read-durability
+      invariant is broken;
+    - {b V4}: a dependence committed only by another thread's racing
+      fence — satisfied under the simulator's per-domain fences, broken
+      under hardware per-thread fence semantics;
+    - {b W1} (warning, not a violation): redundant flushes/fences — the
+      operations elision would skip; counters feed elision budgets.
+
+    See docs/MODEL.md, "Sanitizer semantics". *)
+
+type violation = V1 | V2 | V3 | V4 | W1
+
+val class_name : violation -> string
+
+type finding = {
+  f_class : violation;
+  f_msg : string;
+  f_slot : int;  (** slot uid; [-1] when not slot-specific (fences) *)
+  f_pair : int;  (** owning Mirror pair uid; [-1] if none *)
+  f_tid : int;  (** logical thread the violation is charged to *)
+  f_seq : int;  (** offending value-seq; [-1] n/a *)
+  f_event : int;  (** global event index at detection time *)
+  f_trace : Mirror_nvm.Hooks.access list;
+      (** recent events on the slot, oldest first *)
+}
+
+type report = {
+  seed : int;  (** scheduler seed: replaying it reproduces every finding *)
+  events : int;  (** total access events processed *)
+  findings : finding list;
+      (** deduplicated per (class, slot, thread), oldest first; includes
+          W1 warnings — filter with {!violations} *)
+  counts : (violation * int) list;  (** total occurrences per class *)
+  w1_flush : int;  (** redundant charged flushes (elidable) *)
+  w1_fence : int;  (** redundant charged fences (elidable) *)
+}
+
+val count : report -> violation -> int
+(** Total occurrences of a class (not capped by deduplication). *)
+
+val violations : report -> finding list
+(** Findings that are violations (everything but W1). *)
+
+val clean : report -> bool
+(** No V1–V4 occurrences (W1 warnings allowed). *)
+
+type t
+
+val create : ?seed:int -> ?max_findings:int -> ?trace_depth:int -> unit -> t
+(** A fresh sanitizer.  [seed] (default [0]) is recorded in the report so
+    findings name the schedule that produced them.  [max_findings]
+    (default [64]) caps stored findings (class counters keep counting);
+    [trace_depth] (default [16]) bounds the per-slot event trace attached
+    to findings. *)
+
+val install : t -> (unit -> 'a) -> 'a
+(** Run the callback with the sanitizer attached to the access and
+    operation-boundary hooks (exception-safe; instrumentation is enabled
+    only for the duration). *)
+
+val report : t -> report
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string

@@ -35,8 +35,16 @@ type outcome = {
     mid-flight. *)
 let run_with_picker ~(pick : int -> int) ?(max_steps = max_int)
     ?(stop = fun () -> false) (tasks : (unit -> unit) list) : outcome =
-  let runnable : runnable list ref = ref (List.map (fun t -> Start t) tasks) in
+  (* Fibers are tagged with their task index, which doubles as the logical
+     thread id announced on access events ({!Mirror_nvm.Hooks.tid}): the
+     sanitizer needs to know which logical thread performed each step, not
+     which OS domain (all fibers share one).  The tag rides along without
+     affecting list order, so recorded schedules replay unchanged. *)
+  let runnable : (int * runnable) list ref =
+    ref (List.mapi (fun i t -> (i, Start t)) tasks)
+  in
   let steps = ref 0 in
+  let current = ref (-1) in
   let take i =
     let rec go k acc = function
       | [] -> assert false
@@ -49,7 +57,7 @@ let run_with_picker ~(pick : int -> int) ?(max_steps = max_int)
     in
     go 0 [] !runnable
   in
-  let handler : (unit, unit) Effect.Deep.handler =
+  let handler_for id : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> ());
       exnc = (fun e -> match e with Killed -> () | e -> raise e);
@@ -59,38 +67,44 @@ let run_with_picker ~(pick : int -> int) ?(max_steps = max_int)
           | Yield ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  runnable := Resume k :: !runnable)
+                  runnable := (id, Resume k) :: !runnable)
           | _ -> None);
     }
   in
-  let step r =
+  let step (id, r) =
+    current := id;
     match r with
-    | Start t -> Effect.Deep.match_with t () handler
+    | Start t -> Effect.Deep.match_with t () (handler_for id)
     | Resume k -> Effect.Deep.continue k ()
   in
   let yield_hook () = Effect.perform Yield in
   Mirror_nvm.Hooks.with_yield yield_hook (fun () ->
-      let crashed = ref false in
-      while !runnable <> [] && not !crashed do
-        if !steps >= max_steps || stop () then begin
-          crashed := true;
-          (* cut every live fiber where it stands *)
-          List.iter
-            (function
-              | Start _ -> ()
-              | Resume k -> Effect.Deep.discontinue k Killed)
-            !runnable;
-          runnable := []
-        end
-        else begin
-          incr steps;
-          let n = List.length !runnable in
-          let i = pick n in
-          let i = if i < 0 || i >= n then 0 else i in
-          step (take i)
-        end
-      done;
-      { steps = !steps; completed = not !crashed })
+      Mirror_nvm.Hooks.with_tid
+        (fun () -> if !current >= 0 then !current else Mirror_nvm.Hooks.default_tid ())
+        (fun () ->
+          let crashed = ref false in
+          while !runnable <> [] && not !crashed do
+            if !steps >= max_steps || stop () then begin
+              crashed := true;
+              (* cut every live fiber where it stands *)
+              List.iter
+                (function
+                  | _, Start _ -> ()
+                  | id, Resume k ->
+                      current := id;
+                      Effect.Deep.discontinue k Killed)
+                !runnable;
+              runnable := []
+            end
+            else begin
+              incr steps;
+              let n = List.length !runnable in
+              let i = pick n in
+              let i = if i < 0 || i >= n then 0 else i in
+              step (take i)
+            end
+          done;
+          { steps = !steps; completed = not !crashed }))
 
 (** Random scheduling from a seed. *)
 let run ?(seed = 1) ?max_steps tasks =
@@ -178,6 +192,7 @@ let run_pct ?(seed = 1) ?(depth = 3) ?(expected_steps = 2_000)
     ref (List.mapi (fun i t -> (i, Start t)) tasks)
   in
   let steps = ref 0 in
+  let current = ref (-1) in
   let handler_for id : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> ());
@@ -193,37 +208,45 @@ let run_pct ?(seed = 1) ?(depth = 3) ?(expected_steps = 2_000)
     }
   in
   let step id r =
+    current := id;
     match r with
     | Start t -> Effect.Deep.match_with t () (handler_for id)
     | Resume k -> Effect.Deep.continue k ()
   in
   Mirror_nvm.Hooks.with_yield (fun () -> Effect.perform Yield) (fun () ->
-      let crashed = ref false in
-      while !runnable <> [] && not !crashed do
-        if !steps >= max_steps then begin
-          crashed := true;
-          List.iter
-            (function
-              | _, Start _ -> () | _, Resume k -> Effect.Deep.discontinue k Killed)
-            !runnable;
-          runnable := []
-        end
-        else begin
-          incr steps;
-          (* pick the highest-priority runnable fiber *)
-          let id, r =
-            List.fold_left
-              (fun (bi, br) (i, r) ->
-                if prio.(i) > prio.(bi) then (i, r) else (bi, br))
-              (List.hd !runnable |> fun (i, r) -> (i, r))
-              (List.tl !runnable)
-          in
-          runnable := List.filter (fun (i, _) -> not (i = id)) !runnable;
-          if List.mem !steps change_points then prio.(id) <- low ();
-          step id r
-        end
-      done;
-      { steps = !steps; completed = not !crashed })
+      Mirror_nvm.Hooks.with_tid
+        (fun () ->
+          if !current >= 0 then !current else Mirror_nvm.Hooks.default_tid ())
+        (fun () ->
+          let crashed = ref false in
+          while !runnable <> [] && not !crashed do
+            if !steps >= max_steps then begin
+              crashed := true;
+              List.iter
+                (function
+                  | _, Start _ -> ()
+                  | id, Resume k ->
+                      current := id;
+                      Effect.Deep.discontinue k Killed)
+                !runnable;
+              runnable := []
+            end
+            else begin
+              incr steps;
+              (* pick the highest-priority runnable fiber *)
+              let id, r =
+                List.fold_left
+                  (fun (bi, br) (i, r) ->
+                    if prio.(i) > prio.(bi) then (i, r) else (bi, br))
+                  (List.hd !runnable |> fun (i, r) -> (i, r))
+                  (List.tl !runnable)
+              in
+              runnable := List.filter (fun (i, _) -> not (i = id)) !runnable;
+              if List.mem !steps change_points then prio.(id) <- low ();
+              step id r
+            end
+          done;
+          { steps = !steps; completed = not !crashed }))
 
 (** Bounded-exhaustive exploration: depth-first over the tree of scheduling
     choices, visiting at most [limit] complete schedules.  Returns the number

@@ -9,10 +9,8 @@ let fresh_region ?(track = true) ?(evict = 0.0) ?(seed = 7) ?(elide = false) () 
 
 let prim region name = Mirror_prim.Prim.by_name region name
 
-let all_prim_names =
-  [ "orig-dram"; "orig-nvmm"; "izraelevitz"; "nvtraverse"; "mirror"; "mirror-nvmm" ]
-
-let all_ds = Sets.[ List_ds; Hash_ds; Bst_ds; Skiplist_ds ]
+let all_prim_names = Mirror_prim.Prim.all_names
+let all_ds = Sets.all_ds
 
 (* -- sequential battery ----------------------------------------------------- *)
 
