@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-full examples \
+.PHONY: all build test test-stress bench bench-smoke bench-full examples \
         mcheck-smoke mcheck-deep psan-smoke clean
 
 all: build
@@ -8,6 +8,30 @@ build:
 
 test:
 	dune runtest
+
+# Nightly soak: the crash-torture tier over real domains, 30 times, so
+# low-probability interleavings get a chance to fire.  Failure logs land
+# in _stress/ (one per failing round) for CI to upload; the round number
+# doubles as the only extra seed input, so a failing round is rerunnable
+# with the same command.
+test-stress: build
+	@mkdir -p _stress; fail=0; \
+	for i in $$(seq 1 30); do \
+	  for suite in durable recovery-par diff-fuzz; do \
+	    if ! dune exec test/main.exe -- test $$suite \
+	        > _stress/round$$i-$$suite.log 2>&1; then \
+	      echo "STRESS FAIL round $$i suite $$suite" \
+	        "(log: _stress/round$$i-$$suite.log)"; \
+	      cp _stress/round$$i-$$suite.log \
+	        _stress/FAIL-round$$i-$$suite.log; \
+	      fail=1; \
+	    else \
+	      rm -f _stress/round$$i-$$suite.log; \
+	    fi; \
+	  done; \
+	done; \
+	if [ $$fail -eq 0 ]; then echo "stress: 30 rounds clean"; fi; \
+	exit $$fail
 
 bench:
 	dune exec bench/main.exe
@@ -36,6 +60,20 @@ mcheck-smoke:
 	  --expect-violation
 	dune exec bin/mcheck.exe -- --structure skiplist --prim mirror-nvmm \
 	  --elide --seeds 3 --threads 4 --ops 10
+	@# Crash-in-recovery: kill recovery itself at every (subsampled)
+	@# recovery point of every (subsampled) crash point, restart it, and
+	@# require durable linearizability of the final state; the negative
+	@# control trusts a half-finished recovery and must be caught.
+	@for ds in list hash bst skiplist; do \
+	  for prim in mirror mirror-nvmm; do \
+	    dune exec bin/mcheck.exe -- --structure $$ds --prim $$prim \
+	      --crash-in-recovery --threads 3 --ops 3 \
+	      --budget 6 --rec-budget 6 || exit 1; \
+	  done; \
+	done
+	dune exec bin/mcheck.exe -- --structure list --prim mirror \
+	  --crash-in-recovery --threads 3 --ops 3 --budget 4 --rec-budget 4 \
+	  --trust-partial-recovery --expect-violation
 
 # Nightly-sized: more schedules, bigger workloads, elision on, and deep
 # mode (a crash point before every plain NVMM write as well).

@@ -519,6 +519,103 @@ let run_elision () =
   print_newline ();
   pts
 
+(* -- recovery panel ---------------------------------------------------------------- *)
+
+(* Parallel heap recovery: wall clock with real domains (honest but flat on
+   a one-core box) next to the modeled critical-path latency from a
+   deterministic-scheduler run (machine-independent; what the speedup
+   budget gates).  See Figures.run_recovery_panel. *)
+let run_recovery smoke =
+  print_endline
+    "=== recovery panel: parallel heap recovery (wall ms, modeled critical \
+     path)";
+  let live_points = if smoke then [ 2_000; 20_000 ] else [ 10_000; 100_000 ] in
+  let pts = F.run_recovery_panel ~live_points () in
+  Printf.printf "%-8s %9s %8s %10s %10s %8s %9s %8s %8s\n" "shape" "live"
+    "domains" "wall-ms" "model-ms" "speedup" "marked" "swept" "steals";
+  List.iter
+    (fun p ->
+      let base =
+        List.find
+          (fun q ->
+            q.F.rp_shape = p.F.rp_shape
+            && q.F.rp_live = p.F.rp_live
+            && q.F.rp_domains = 1)
+          pts
+      in
+      let speedup =
+        if p.F.rp_model_ms > 0. then base.F.rp_model_ms /. p.F.rp_model_ms
+        else 0.
+      in
+      Printf.printf "%-8s %9d %8d %10.2f %10.2f %7.2fx %9d %8d %8d\n%!"
+        p.F.rp_shape p.F.rp_live p.F.rp_domains p.F.rp_wall_ms p.F.rp_model_ms
+        speedup p.F.rp_marked p.F.rp_swept p.F.rp_steals)
+    pts;
+  print_newline ();
+  pts
+
+(* Recovery-speedup budgets: rows of the form recovery,domainsN,min_speedup,0
+   in bench/budgets.csv gate the modeled speedup at N workers against the
+   sequential path, at each shape's largest live point. *)
+let check_recovery_budgets (pts : F.recovery_point list) budget_file =
+  let budgets =
+    let ic = open_in budget_file in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      | ln -> (
+          match String.split_on_char ',' (String.trim ln) with
+          | [ "recovery"; dom; min_speedup; _ ]
+            when String.length dom > 7
+                 && String.sub dom 0 7 = "domains" -> (
+              match
+                ( int_of_string_opt
+                    (String.sub dom 7 (String.length dom - 7)),
+                  float_of_string_opt min_speedup )
+              with
+              | Some d, Some m -> go ((d, m) :: acc)
+              | _ -> go acc)
+          | _ -> go acc)
+    in
+    go []
+  in
+  let failures = ref 0 in
+  let shapes = List.sort_uniq compare (List.map (fun p -> p.F.rp_shape) pts) in
+  List.iter
+    (fun shape ->
+      let of_shape = List.filter (fun p -> p.F.rp_shape = shape) pts in
+      let live =
+        List.fold_left (fun a p -> max a p.F.rp_live) 0 of_shape
+      in
+      let at d =
+        List.find_opt
+          (fun p -> p.F.rp_live = live && p.F.rp_domains = d)
+          of_shape
+      in
+      List.iter
+        (fun (d, min_speedup) ->
+          match (at 1, at d) with
+          | Some base, Some p when p.F.rp_model_ms > 0. ->
+              let speedup = base.F.rp_model_ms /. p.F.rp_model_ms in
+              if speedup < min_speedup then begin
+                incr failures;
+                Printf.eprintf
+                  "BUDGET EXCEEDED recovery %s live=%d domains=%d modeled \
+                   speedup %.2fx < %.2fx\n"
+                  shape live d speedup min_speedup
+              end
+              else
+                Printf.printf
+                  "budget ok       recovery %s live=%d domains=%d modeled \
+                   speedup %.2fx >= %.2fx\n"
+                  shape live d speedup min_speedup
+          | _ -> ())
+        budgets)
+    shapes;
+  !failures = 0
+
 (* -- flush/fence budgets ----------------------------------------------------------- *)
 
 (* bench/budgets.csv commits a per-(structure, algorithm) ceiling on charged
@@ -685,6 +782,18 @@ let main full smoke panels csv no_micro no_ablation seconds budget =
       close_out oc;
       Printf.printf "elision rows written to %s\n%!" efile)
     csv;
+  let recovery_pts = run_recovery smoke in
+  Option.iter
+    (fun file ->
+      let rfile = Filename.remove_extension file ^ "_recovery.csv" in
+      let oc = open_out rfile in
+      output_string oc (F.recovery_csv_header ^ "\n");
+      List.iter
+        (fun p -> output_string oc (F.recovery_point_to_csv p ^ "\n"))
+        recovery_pts;
+      close_out oc;
+      Printf.printf "recovery rows written to %s\n%!" rfile)
+    csv;
   if not no_ablation then begin
     run_ablations ();
     run_extensions ()
@@ -693,8 +802,13 @@ let main full smoke panels csv no_micro no_ablation seconds budget =
   let budgets_ok =
     match budget with None -> true | Some file -> check_budgets rows file
   in
+  let recovery_ok =
+    match budget with
+    | None -> true
+    | Some file -> check_recovery_budgets recovery_pts file
+  in
   print_endline "done.";
-  if not budgets_ok then exit 1
+  if not (budgets_ok && recovery_ok) then exit 1
 
 open Cmdliner
 

@@ -4,6 +4,8 @@
      dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm --expect-violation
      dune exec bin/mcheck.exe -- --structure list --prim orig-nvmm --replay "1:4:0,2,1"
      dune exec bin/mcheck.exe -- --structure hash --prim mirror --psan
+     dune exec bin/mcheck.exe -- --structure list --prim mirror --crash-in-recovery
+     dune exec bin/mcheck.exe -- --crash-in-recovery --trust-partial-recovery --expect-violation
 
    Exit status: 0 when the verdict matches expectations (no violation, or a
    violation under --expect-violation), 1 otherwise — so CI can wire the
@@ -20,7 +22,8 @@ let list_vocab () =
   Format.printf "prims: %s@." (String.concat " " Mirror_prim.Prim.all_names)
 
 let main list_structures structure prim seed seeds budget threads ops range
-    updates elide deep psan expect_violation replay =
+    updates elide deep psan expect_violation replay crash_in_recovery
+    rec_budget trust_partial replay_recovery =
   if list_structures then begin
     list_vocab ();
     exit 0
@@ -51,8 +54,8 @@ let main list_structures structure prim seed seeds budget threads ops range
         Mirror_psan.Psan.pp_report r;
       if not (Mirror_psan.Psan.clean r) then found := true
     done;
-  (match replay with
-  | Some s ->
+  (match (replay, replay_recovery) with
+  | Some s, _ ->
       let seed, picks, crash_at = M.cx_of_string s in
       let violations = M.replay scenario ~seed ~picks ~crash_at in
       Format.printf "replay %s/%s seed=%d crash=%d (%d picks): %s@." structure
@@ -63,7 +66,40 @@ let main list_structures structure prim seed seeds budget threads ops range
           Format.printf "  %a@." Mirror_harness.Durable.pp_violation v)
         violations;
       found := violations <> []
-  | None ->
+  | None, Some s ->
+      let seed, picks, crash_at, rec_at = M.rcx_of_string s in
+      let violations, note =
+        M.replay_recovery ~trust_partial scenario ~seed ~picks ~crash_at
+          ~rec_at
+      in
+      Format.printf
+        "replay-recovery %s/%s seed=%d crash=%d rec=%d (%d picks): %s%s@."
+        structure prim seed crash_at rec_at (Array.length picks)
+        (if violations = [] then "no violation" else "VIOLATION")
+        (if note = "" then "" else " [" ^ note ^ "]");
+      List.iter
+        (fun v ->
+          Format.printf "  %a@." Mirror_harness.Durable.pp_violation v)
+        violations;
+      found := violations <> []
+  | None, None when crash_in_recovery ->
+      for s = seed to seed + seeds - 1 do
+        let r =
+          M.check_recovery ~deep ~budget ~rec_budget ~trust_partial scenario
+            ~seed:s
+        in
+        Format.printf "%s/%s seed=%d: %a@." structure prim s
+          M.pp_recovery_report r;
+        match r.M.rr_counterexample with
+        | None -> ()
+        | Some rcx ->
+            found := true;
+            List.iter
+              (fun v ->
+                Format.printf "  %a@." Mirror_harness.Durable.pp_violation v)
+              rcx.M.rcx_violations
+      done
+  | None, None ->
       for s = seed to seed + seeds - 1 do
         let r = M.check ~deep ~budget scenario ~seed:s in
         Format.printf "%s/%s seed=%d: %a@." structure prim s M.pp_report r;
@@ -174,6 +210,41 @@ let replay =
           "Replay one counterexample (\"seed:crash_at:p0,p1,...\" as \
            printed on failure) instead of checking.")
 
+let crash_in_recovery =
+  Arg.(
+    value & flag
+    & info [ "crash-in-recovery" ]
+        ~doc:
+          "Check recovery itself as a crash surface: at each crash point, \
+           kill recovery before each of its recovery points, power-fail \
+           again, re-run recovery from scratch and validate.")
+
+let rec_budget =
+  Arg.(
+    value & opt int max_int
+    & info [ "rec-budget" ] ~docv:"B"
+        ~doc:
+          "Max recovery kill points per crash point (subsampled at an even \
+           stride beyond it).")
+
+let trust_partial =
+  Arg.(
+    value & flag
+    & info [ "trust-partial-recovery" ]
+        ~doc:
+          "Negative control for --crash-in-recovery: accept the killed, \
+           half-finished recovery instead of restarting it.  Must produce \
+           violations (pair with --expect-violation).")
+
+let replay_recovery =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay-recovery" ] ~docv:"RCX"
+        ~doc:
+          "Replay one crash-in-recovery counterexample \
+           (\"seed:crash_at:rec_at:p0,p1,...\") instead of checking.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mcheck"
@@ -183,6 +254,7 @@ let cmd =
     Term.(
       const main $ list_structures $ structure $ prim $ seed $ seeds $ budget
       $ threads $ ops $ range $ updates $ elide $ deep $ psan
-      $ expect_violation $ replay)
+      $ expect_violation $ replay $ crash_in_recovery $ rec_budget
+      $ trust_partial $ replay_recovery)
 
 let () = exit (Cmd.eval' cmd)

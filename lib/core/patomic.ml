@@ -230,6 +230,10 @@ let fetch_add (t : int t) (d : int) : int =
     data structure's tracing routine for every reachable variable, while the
     region is still down. *)
 let recover t =
+  (* a kill-point before the restore: the model checker's
+     --crash-in-recovery mode cuts recovery here, leaving this variable
+     (and everything the tracer had not reached) unrestored *)
+  Hooks.recovery_point Hooks.R_trace;
   if Slot.is_lost t.repp then
     invalid_arg "Patomic.recover: persistent replica was never persisted";
   let pc = Slot.peek t.repp in

@@ -207,8 +207,12 @@ let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
         (cap, outcome))
   in
   Mirror_nvm.Region.crash ~policy region;
-  recover ();
-  cap.cap_recover ();
+  let (_ : bool) = Mirror_nvm.Region.begin_recovery region in
+  Mirror_nvm.Hooks.with_recovery (fun () ->
+      Mirror_nvm.Hooks.recovery_point Mirror_nvm.Hooks.R_begin;
+      recover ();
+      cap.cap_recover ();
+      Mirror_nvm.Hooks.recovery_point Mirror_nvm.Hooks.R_done);
   Mirror_nvm.Region.mark_recovered region;
   let observed = cap.cap_observed () in
   let workers = cap.cap_workers in
@@ -273,8 +277,12 @@ let torture_domains (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
   Atomic.set stop true;
   Array.iter Domain.join doms;
   Mirror_nvm.Region.crash ~policy region;
-  recover ();
-  S.recover t;
+  let (_ : bool) = Mirror_nvm.Region.begin_recovery region in
+  Mirror_nvm.Hooks.with_recovery (fun () ->
+      Mirror_nvm.Hooks.recovery_point Mirror_nvm.Hooks.R_begin;
+      recover ();
+      S.recover t;
+      Mirror_nvm.Hooks.recovery_point Mirror_nvm.Hooks.R_done);
   Mirror_nvm.Region.mark_recovered region;
   let observed = S.to_list t in
   let violations =

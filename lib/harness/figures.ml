@@ -369,3 +369,94 @@ let elision_csv_header =
 let elision_point_to_csv p =
   Printf.sprintf "%s,%b,%d,%.4f,%.4f,%.4f,%.4f,%.4f" p.e_ds p.e_elide p.e_ops
     p.e_flushes p.e_fences p.e_flushes_elided p.e_fences_elided p.e_helps
+
+(* -- recovery panel ---------------------------------------------------------------- *)
+
+(** Recovery latency vs live-object count x worker count over the raw
+    persistent heap ({!Mirror_nvmheap.Heap}).  Two metrics per cell:
+
+    - [rp_wall_ms]: measured wall clock of {!Mirror_nvmheap.Heap.recover}
+      with real [Domain.spawn] workers — honest, but on a one-core box
+      parallel wall time cannot beat sequential;
+    - [rp_model_ms]: the modeled latency on a machine with one core per
+      worker.  The same worker closures run under the deterministic
+      scheduler (so the work split is reproducible anywhere), and each
+      worker's node/header tallies are priced at the configured NVMM read
+      latency; the phase cost is the {e maximum} worker's cost — the
+      critical path.  The speedup budget in bench/budgets.csv gates this
+      metric. *)
+type recovery_point = {
+  rp_shape : string;
+  rp_live : int;  (** live objects in the recovered heap *)
+  rp_garbage : int;  (** unreachable blocks the sweep must reclaim *)
+  rp_domains : int;
+  rp_wall_ms : float;
+  rp_model_ms : float;
+  rp_marked : int;  (** nodes traced (duplicates included) *)
+  rp_swept : int;
+  rp_steals : int;
+}
+
+let model_ms_of (r : Mirror_nvmheap.Heap.recovery_stats) =
+  let cfg = Mirror_nvm.Latency.get_config () in
+  let critical arr = Array.fold_left max 0 arr in
+  (* mark: one NVMM pointer-word read per traced node; sweep: one header
+     read per parsed block *)
+  float_of_int
+    (cfg.Mirror_nvm.Latency.nvm_read_ns
+    * (critical r.Mirror_nvmheap.Heap.r_worker_marked
+      + critical r.Mirror_nvmheap.Heap.r_worker_parsed))
+  /. 1e6
+
+let run_recovery_panel ?(shapes = [ Mirror_nvmheap.Shapes.Forest ])
+    ?(live_points = [ 10_000; 100_000 ]) ?(domain_points = [ 1; 2; 4 ]) () :
+    recovery_point list =
+  let module H = Mirror_nvmheap.Heap in
+  let module Sh = Mirror_nvmheap.Shapes in
+  List.concat_map
+    (fun shape ->
+      List.concat_map
+        (fun live ->
+          let garbage_ratio = 0.5 in
+          let region = Mirror_nvm.Region.create ~track_slots:false () in
+          let heap =
+            H.create ~words:(Sh.words_needed ~live ~garbage_ratio) region
+          in
+          let built =
+            Sh.build ~shape ~garbage_ratio ~durable:false ~seed:42 ~live heap
+          in
+          List.map
+            (fun domains ->
+              (* wall clock with real domains *)
+              let t0 = Unix.gettimeofday () in
+              H.recover ~domains heap ~trace:built.Sh.trace;
+              let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+              let wall_stats = Option.get (H.last_recovery heap) in
+              (* deterministic work split under the cooperative scheduler *)
+              let runner tasks =
+                ignore (Mirror_schedsim.Sched.run ~seed:1 tasks)
+              in
+              H.recover ~domains ~runner heap ~trace:built.Sh.trace;
+              let sim_stats = Option.get (H.last_recovery heap) in
+              {
+                rp_shape = Sh.shape_name shape;
+                rp_live = live;
+                rp_garbage = List.length built.Sh.garbage;
+                rp_domains = domains;
+                rp_wall_ms = wall_ms;
+                rp_model_ms = model_ms_of sim_stats;
+                rp_marked = wall_stats.H.r_marked;
+                rp_swept = wall_stats.H.r_swept;
+                rp_steals = sim_stats.H.r_steals;
+              })
+            domain_points)
+        live_points)
+    shapes
+
+let recovery_csv_header =
+  "shape,live,garbage,domains,wall_ms,model_ms,marked,swept,steals"
+
+let recovery_point_to_csv p =
+  Printf.sprintf "%s,%d,%d,%d,%.3f,%.3f,%d,%d,%d" p.rp_shape p.rp_live
+    p.rp_garbage p.rp_domains p.rp_wall_ms p.rp_model_ms p.rp_marked
+    p.rp_swept p.rp_steals

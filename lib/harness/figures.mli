@@ -93,3 +93,32 @@ val run_elision_panel :
 
 val elision_csv_header : string
 val elision_point_to_csv : elision_point -> string
+
+(** {1 Recovery panel} *)
+
+type recovery_point = {
+  rp_shape : string;
+  rp_live : int;  (** live objects in the recovered heap *)
+  rp_garbage : int;  (** unreachable blocks the sweep must reclaim *)
+  rp_domains : int;
+  rp_wall_ms : float;  (** measured, real [Domain.spawn] workers *)
+  rp_model_ms : float;
+      (** critical-path worker cost priced at the configured NVMM read
+          latency, from a deterministic-scheduler run — the
+          machine-independent metric the speedup budget gates *)
+  rp_marked : int;  (** nodes traced (duplicates included) *)
+  rp_swept : int;
+  rp_steals : int;
+}
+
+val run_recovery_panel :
+  ?shapes:Mirror_nvmheap.Shapes.shape list ->
+  ?live_points:int list ->
+  ?domain_points:int list ->
+  unit ->
+  recovery_point list
+(** Parallel heap-recovery latency over live-object count x worker count
+    (defaults: forest shape, 10k and 100k live objects, 1/2/4 workers). *)
+
+val recovery_csv_header : string
+val recovery_point_to_csv : recovery_point -> string

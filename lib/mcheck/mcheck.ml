@@ -30,6 +30,7 @@ module Hooks = Mirror_nvm.Hooks
 
 type instance = {
   tasks : (unit -> unit) list;
+  region : Mirror_nvm.Region.t;
   crash_recover : unit -> unit;
   validate : unit -> Mirror_harness.Durable.violation list;
 }
@@ -197,20 +198,23 @@ let pp_report ppf r =
         Printf.sprintf "VIOLATION at crash point %d (replay with %s)"
           cx.cx_crash_at (cx_to_string cx))
 
+(* Even-stride subsample of [points] down to [budget] entries, always
+   keeping the last one. *)
+let subsample points budget =
+  let n = List.length points in
+  if n <= budget then points
+  else begin
+    let arr = Array.of_list points in
+    List.init (max 1 (budget - 1)) (fun i -> arr.(i * n / budget))
+    @ [ arr.(n - 1) ]
+  end
+
 let check ?(deep = false) ?(budget = max_int) (scenario : scenario) ~seed :
     report =
   let tr = record scenario ~seed in
   let all_points = crash_points ~deep tr.events in
   let points_total = List.length all_points in
-  let points =
-    if points_total <= budget then all_points
-    else begin
-      (* even stride over the enumeration, end-of-run point always kept *)
-      let arr = Array.of_list all_points in
-      List.init (max 1 (budget - 1)) (fun i -> arr.(i * points_total / budget))
-      @ [ arr.(points_total - 1) ]
-    end
-  in
+  let points = subsample all_points budget in
   let runs = ref 1 (* the reference run *) in
   let rec scan = function
     | [] -> None
@@ -264,6 +268,224 @@ let psan_pass (scenario : scenario) ~seed : Mirror_psan.Psan.report =
       ());
   Mirror_psan.Psan.report sa
 
+(* -- crash-in-recovery checking ---------------------------------------------- *)
+
+exception Killed_in_recovery
+
+(* Replay the recorded schedule over a fresh instance and crash at
+   [crash_at], exactly as [run_crash_at] does, but return the instance
+   still down — the caller drives recovery itself. *)
+let run_to_crash (scenario : scenario) ~seed ~picks ~crash_at =
+  let inst = scenario ~seed in
+  let count = ref 0 in
+  let crashed = ref false in
+  let hook (_ : Hooks.persist_event) =
+    if not !crashed then
+      if !count = crash_at then begin
+        crashed := true;
+        raise Sched.Killed
+      end
+      else incr count
+  in
+  let (_ : Sched.outcome) =
+    Hooks.with_persist hook (fun () ->
+        Sched.run_replay ~picks ~stop:(fun () -> !crashed) inst.tasks)
+  in
+  inst
+
+(* Count the recovery points of one full recovery at [crash_at]: every
+   {!Hooks.recovery_point} the instance's recovery procedure fires
+   (R_begin, one R_trace per variable restored, R_done, plus any heap
+   phase points). *)
+let count_recovery_points (scenario : scenario) ~seed ~picks ~crash_at =
+  let inst = run_to_crash scenario ~seed ~picks ~crash_at in
+  let n = ref 0 in
+  Hooks.with_recovery_hook (fun _ -> incr n) inst.crash_recover;
+  !n
+
+let run_crash_in_recovery (scenario : scenario) ~seed ~picks ~crash_at
+    ~rec_at ~trust_partial :
+    Mirror_harness.Durable.violation list * string * bool =
+  let inst = run_to_crash scenario ~seed ~picks ~crash_at in
+  (* first recovery attempt, killed just before recovery point [rec_at] *)
+  let count = ref 0 in
+  let killed = ref false in
+  (try
+     Hooks.with_recovery_hook
+       (fun (_ : Hooks.recovery_event) ->
+         if not !killed then
+           if !count = rec_at then begin
+             killed := true;
+             raise Killed_in_recovery
+           end
+           else incr count)
+       inst.crash_recover
+   with Killed_in_recovery -> ());
+  if not !killed then
+    (* recovery had fewer points than [rec_at]; it completed normally *)
+    (inst.validate (), "", false)
+  else if trust_partial then begin
+    (* negative control: accept the half-finished recovery as if it were
+       complete.  Unrecovered variables then surface either as an
+       exception from validation (synthesized as a violation) or as
+       genuine durable-linearizability violations. *)
+    Mirror_nvm.Region.mark_recovered inst.region;
+    match inst.validate () with
+    | vs ->
+        let note = if vs = [] then "" else "partial recovery accepted" in
+        (vs, note, true)
+    | exception e ->
+        ( [ { Mirror_harness.Durable.vkey = -1; observed = false; events = [] } ],
+          "validation raised: " ^ Printexc.to_string e,
+          true )
+  end
+  else begin
+    (* the discipline under test: a second power failure mid-recovery
+       (the embedded [Region.crash] discards partially restored volatile
+       state), then recovery re-run from scratch.  The persistent epoch
+       must flag the interruption. *)
+    inst.crash_recover ();
+    let vs = inst.validate () in
+    let vs =
+      if Mirror_nvm.Region.recovery_interrupted inst.region then vs
+      else
+        { Mirror_harness.Durable.vkey = -2; observed = false; events = [] }
+        :: vs
+    in
+    let note =
+      if Mirror_nvm.Region.recovery_interrupted inst.region then ""
+      else "interrupted recovery not detected by the persistent epoch"
+    in
+    (vs, note, true)
+  end
+
+type recovery_counterexample = {
+  rcx_seed : int;
+  rcx_picks : int array;
+  rcx_crash_at : int;
+  rcx_rec_at : int;
+  rcx_violations : Mirror_harness.Durable.violation list;
+  rcx_note : string;
+}
+
+let rcx_to_string rcx =
+  Printf.sprintf "%d:%d:%d:%s" rcx.rcx_seed rcx.rcx_crash_at rcx.rcx_rec_at
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int rcx.rcx_picks)))
+
+let rcx_of_string s =
+  let fail () =
+    invalid_arg
+      ("Mcheck.rcx_of_string: expected \"seed:crash_at:rec_at:p0,p1,...\", \
+        got " ^ s)
+  in
+  match String.split_on_char ':' s with
+  | [ seed; crash_at; rec_at; picks ] -> (
+      match
+        ( int_of_string_opt seed,
+          int_of_string_opt crash_at,
+          int_of_string_opt rec_at )
+      with
+      | Some seed, Some crash_at, Some rec_at ->
+          let picks =
+            if picks = "" then [||]
+            else
+              String.split_on_char ',' picks
+              |> List.map (fun p ->
+                     match int_of_string_opt p with
+                     | Some p -> p
+                     | None -> fail ())
+              |> Array.of_list
+          in
+          (seed, picks, crash_at, rec_at)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let replay_recovery ?(trust_partial = false) scenario ~seed ~picks ~crash_at
+    ~rec_at =
+  let vs, note, _ =
+    run_crash_in_recovery scenario ~seed ~picks ~crash_at ~rec_at
+      ~trust_partial
+  in
+  (vs, note)
+
+type recovery_report = {
+  rr_crash_points : int;  (** crash points examined (after budget) *)
+  rr_rec_points : int;  (** (crash, recovery) pairs examined *)
+  rr_runs : int;  (** total executions *)
+  rr_counterexample : recovery_counterexample option;
+}
+
+let pp_recovery_report ppf r =
+  Format.fprintf ppf
+    "%d crash points x recovery kills = %d pairs, %d executions: %s"
+    r.rr_crash_points r.rr_rec_points r.rr_runs
+    (match r.rr_counterexample with
+    | None -> "recovery is crash-tolerant"
+    | Some rcx ->
+        Printf.sprintf
+          "VIOLATION killing recovery at point %d of crash point %d%s \
+           (replay with %s)"
+          rcx.rcx_rec_at rcx.rcx_crash_at
+          (if rcx.rcx_note = "" then "" else " [" ^ rcx.rcx_note ^ "]")
+          (rcx_to_string rcx))
+
+(** The crash-in-recovery checker: for every (subsampled) crash point of
+    the reference run, enumerate the recovery points of the recovery that
+    crash triggers, and for each one kill recovery there, power-fail
+    again, re-run recovery from scratch and validate — recovery itself
+    becomes a first-class crash surface.  [rec_budget] subsamples the
+    kill points within each crash point.  [trust_partial] is the negative
+    control: instead of restarting, the half-finished recovery is
+    accepted, which must produce violations (if it does not, the checker
+    has no teeth at the chosen points). *)
+let check_recovery ?(deep = false) ?(budget = max_int)
+    ?(rec_budget = max_int) ?(trust_partial = false) (scenario : scenario)
+    ~seed : recovery_report =
+  let tr = record scenario ~seed in
+  let points = subsample (crash_points ~deep tr.events) budget in
+  let runs = ref 1 in
+  let pairs = ref 0 in
+  let found = ref None in
+  List.iter
+    (fun crash_at ->
+      if !found = None then begin
+        incr runs;
+        let nrec =
+          count_recovery_points scenario ~seed ~picks:tr.picks ~crash_at
+        in
+        let kills = subsample (List.init nrec Fun.id) rec_budget in
+        List.iter
+          (fun rec_at ->
+            if !found = None then begin
+              incr runs;
+              incr pairs;
+              let vs, note, _ =
+                run_crash_in_recovery scenario ~seed ~picks:tr.picks
+                  ~crash_at ~rec_at ~trust_partial
+              in
+              if vs <> [] then
+                found :=
+                  Some
+                    {
+                      rcx_seed = seed;
+                      rcx_picks = tr.picks;
+                      rcx_crash_at = crash_at;
+                      rcx_rec_at = rec_at;
+                      rcx_violations = vs;
+                      rcx_note = note;
+                    }
+            end)
+          kills
+      end)
+    points;
+  {
+    rr_crash_points = List.length points;
+    rr_rec_points = !pairs;
+    rr_runs = !runs;
+    rr_counterexample = !found;
+  }
+
 (* -- the standard set-workload scenario ------------------------------------------ *)
 
 let set_scenario ~ds ~prim ?(policy = Mirror_nvm.Region.Adversarial)
@@ -280,10 +502,15 @@ let set_scenario ~ds ~prim ?(policy = Mirror_nvm.Region.Adversarial)
   in
   {
     tasks = cap.cap_tasks;
+    region;
     crash_recover =
       (fun () ->
         Mirror_nvm.Region.crash ~policy region;
-        cap.cap_recover ();
+        let (_ : bool) = Mirror_nvm.Region.begin_recovery region in
+        Mirror_nvm.Hooks.with_recovery (fun () ->
+            Hooks.recovery_point Hooks.R_begin;
+            cap.cap_recover ();
+            Hooks.recovery_point Hooks.R_done);
         Mirror_nvm.Region.mark_recovered region);
     validate =
       (fun () ->

@@ -14,9 +14,13 @@
 
 type instance = {
   tasks : (unit -> unit) list;  (** the workload, ready to schedule *)
+  region : Mirror_nvm.Region.t;
+      (** the instance's region: the recovery checker crashes it a second
+          time mid-recovery and reads its persistent recovery epoch *)
   crash_recover : unit -> unit;
       (** power failure: apply the crash policy, run the structure's
-          recovery procedure, bring the region back up *)
+          recovery procedure (inside a region recovery session, firing
+          {!Mirror_nvm.Hooks.recovery_point}s), bring the region back up *)
   validate : unit -> Mirror_harness.Durable.violation list;
       (** durable-linearizability verdict over the recovered state *)
 }
@@ -95,6 +99,76 @@ val check : ?deep:bool -> ?budget:int -> scenario -> seed:int -> report
     checked; when exceeded they are subsampled at an even stride (the
     quiescent end-of-run point is always kept) — the report records both
     counts so truncation is visible. *)
+
+(** {1 Crash-in-recovery checking}
+
+    Recovery as a first-class crash surface: a power failure can land
+    {e during} recovery from a previous failure.  The checker crashes the
+    workload at a persist boundary, starts recovery, kills it just before
+    its [rec_at]-th {!Mirror_nvm.Hooks.recovery_point} (R_begin, one
+    R_trace per restored variable, R_done, plus the heap's per-root /
+    per-segment points), power-fails again and re-runs recovery from
+    scratch.  The final state must validate, and the region's persistent
+    recovery epoch must have flagged the interruption. *)
+
+type recovery_counterexample = {
+  rcx_seed : int;
+  rcx_picks : int array;
+  rcx_crash_at : int;  (** persist event the workload crash landed before *)
+  rcx_rec_at : int;  (** recovery point the recovery kill landed before *)
+  rcx_violations : Mirror_harness.Durable.violation list;
+      (** [vkey = -1]: validation raised (unrecovered data reached);
+          [vkey = -2]: interrupted recovery not detected by the epoch *)
+  rcx_note : string;  (** human-readable diagnosis, [""] when untagged *)
+}
+
+val rcx_to_string : recovery_counterexample -> string
+(** Compact replayable form: ["seed:crash_at:rec_at:p0,p1,..."]. *)
+
+val rcx_of_string : string -> int * int array * int * int
+(** Parse back to [(seed, picks, crash_at, rec_at)].
+    @raise Invalid_argument on malformed input. *)
+
+val replay_recovery :
+  ?trust_partial:bool ->
+  scenario ->
+  seed:int ->
+  picks:int array ->
+  crash_at:int ->
+  rec_at:int ->
+  Mirror_harness.Durable.violation list * string
+(** Re-run one recorded crash-in-recovery; the reproduction entry point.
+    Returns the violations and the diagnosis note. *)
+
+val count_recovery_points :
+  scenario -> seed:int -> picks:int array -> crash_at:int -> int
+(** Recovery points an uninterrupted recovery fires after crashing at
+    [crash_at] (the kill-point space of that crash point). *)
+
+type recovery_report = {
+  rr_crash_points : int;  (** crash points examined (after budget) *)
+  rr_rec_points : int;  (** (crash, recovery-kill) pairs examined *)
+  rr_runs : int;  (** total executions *)
+  rr_counterexample : recovery_counterexample option;
+}
+
+val pp_recovery_report : Format.formatter -> recovery_report -> unit
+
+val check_recovery :
+  ?deep:bool ->
+  ?budget:int ->
+  ?rec_budget:int ->
+  ?trust_partial:bool ->
+  scenario ->
+  seed:int ->
+  recovery_report
+(** Enumerate (crash point x recovery kill point) pairs in ascending
+    order and stop at the first violation.  [budget] subsamples crash
+    points (as in {!check}); [rec_budget] subsamples kill points within
+    each crash point.  [trust_partial] is the negative control: the
+    killed recovery is {e accepted} instead of restarted, so unrecovered
+    state must surface as violations — proving the checker can see the
+    failures the restart discipline prevents. *)
 
 val psan_pass : scenario -> seed:int -> Mirror_psan.Psan.report
 (** One crash-free reference run under the persistency sanitizer

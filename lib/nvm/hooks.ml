@@ -97,6 +97,9 @@ type access_op =
   | A_load_repv  (** read of a Mirror variable's volatile replica *)
   | A_write_repv  (** successful advance of a volatile replica *)
   | A_make of bool  (** slot allocation (starts persisted?) *)
+  | A_recovery_write
+      (** privileged recovery write ({!Slot.recover_store}): store with
+          immediate durability, only legal while the region is down *)
 
 type access = {
   a_op : access_op;
@@ -122,6 +125,7 @@ let access_op_name = function
   | A_write_repv -> "write-repv"
   | A_make true -> "make-persisted"
   | A_make false -> "make"
+  | A_recovery_write -> "recovery-write"
 
 let access_on = ref false
 let access_ref : (access -> unit) ref = ref (fun _ -> ())
@@ -196,3 +200,53 @@ let with_op f body =
   let saved = !op_ref in
   op_ref := f;
   Fun.protect ~finally:(fun () -> op_ref := saved) body
+
+(* -- recovery points -------------------------------------------------------- *)
+
+(** Recovery announces its own progress boundaries here, mirroring what
+    {!persist_point} does for the hot path: each event fires {e before} the
+    corresponding unit of recovery work, so a hook that raises at event [i]
+    kills recovery at an exact, replayable boundary.  A no-op in
+    production; the crash-point model checker's [--crash-in-recovery] mode
+    installs a counter to enumerate kill points {e inside} recovery.
+
+    The fine-grained events ([R_root], [R_sweep]) fire only on the
+    sequential ([~domains:1]) recovery path — worker domains never call
+    hooks; the phase boundaries ([R_begin], [R_mark_done], [R_done]) always
+    fire from the coordinating thread. *)
+type recovery_event =
+  | R_begin  (** recovery is about to start (volatile metadata still stale) *)
+  | R_root  (** one persistent root's subgraph is about to be marked *)
+  | R_trace  (** one variable/node is about to be restored (tracing) *)
+  | R_mark_done  (** mark finished; sweep is about to start *)
+  | R_sweep  (** one heap segment is about to be parsed by the sweep *)
+  | R_done  (** recovery work complete; the region is not yet re-opened *)
+
+let recovery_event_name = function
+  | R_begin -> "begin"
+  | R_root -> "root"
+  | R_trace -> "trace"
+  | R_mark_done -> "mark-done"
+  | R_sweep -> "sweep"
+  | R_done -> "done"
+
+let recovery_ref : (recovery_event -> unit) ref = ref (fun _ -> ())
+let recovery_point ev = !recovery_ref ev
+
+let with_recovery_hook f body =
+  let saved = !recovery_ref in
+  recovery_ref := f;
+  Fun.protect ~finally:(fun () -> recovery_ref := saved) body
+
+(** True while a recovery procedure is running.  Recovery's accesses are
+    privileged — it is the only code running, it reads with the cost-free
+    {!Slot.peek} and writes with the immediately-durable
+    {!Slot.recover_store} — so the persistency sanitizer must not apply
+    hot-path discipline rules to them.  Set by {!with_recovery}, which every
+    recovery driver brackets its work with. *)
+let in_recovery = ref false
+
+let with_recovery body =
+  let saved = !in_recovery in
+  in_recovery := true;
+  Fun.protect ~finally:(fun () -> in_recovery := saved) body

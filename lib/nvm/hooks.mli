@@ -60,6 +60,9 @@ type access_op =
   | A_load_repv
   | A_write_repv
   | A_make of bool
+  | A_recovery_write
+      (** privileged recovery write ({!Slot.recover_store}): store with
+          immediate durability, only legal while the region is down *)
 
 type access = {
   a_op : access_op;
@@ -107,3 +110,37 @@ type op_mark = Op_begin | Op_complete
 val op_ref : (op_mark -> unit) ref
 val op_point : op_mark -> unit
 val with_op : (op_mark -> unit) -> (unit -> 'a) -> 'a
+
+(** {1 Recovery points}
+
+    Recovery progress boundaries, announced {e before} each unit of
+    recovery work — the recovery-side analogue of {!persist_point}.  A
+    no-op in production; the model checker's [--crash-in-recovery] mode
+    installs a counter here to kill recovery at an exact, replayable
+    boundary.  [R_root]/[R_sweep] fire only on the sequential
+    ([~domains:1]) recovery path; phase boundaries always fire. *)
+
+type recovery_event =
+  | R_begin  (** recovery is about to start *)
+  | R_root  (** one persistent root's subgraph is about to be marked *)
+  | R_trace  (** one variable/node is about to be restored (tracing) *)
+  | R_mark_done  (** mark finished; sweep is about to start *)
+  | R_sweep  (** one heap segment is about to be parsed *)
+  | R_done  (** recovery work complete; region not yet re-opened *)
+
+val recovery_event_name : recovery_event -> string
+val recovery_ref : (recovery_event -> unit) ref
+val recovery_point : recovery_event -> unit
+
+val with_recovery_hook : (recovery_event -> unit) -> (unit -> 'a) -> 'a
+(** Install a recovery-point hook for the duration of the callback
+    (exception-safe). *)
+
+val in_recovery : bool ref
+(** True while a recovery procedure runs.  Recovery accesses are
+    privileged ({!Slot.peek} reads, {!Slot.recover_store} writes); the
+    persistency sanitizer skips events announced under this flag. *)
+
+val with_recovery : (unit -> 'a) -> 'a
+(** Run a recovery procedure under {!in_recovery} (exception-safe,
+    nestable). *)

@@ -54,6 +54,22 @@ type t = {
   rng : Random.State.t;
   mutable runtime_evict_prob : float;
   mutable crashes : int;
+  mutable recovery_epoch : int;
+      (** persistent recovery-progress slot (recovery-write semantics: every
+          update is immediately durable, so a crash never tears it — the
+          region compiles before {!Slot}, hence a plain field rather than a
+          slot).  Even = the last recovery ran to completion; odd = a
+          recovery started and has not finished.  An odd value observed by
+          {!begin_recovery} after a crash means the previous recovery was
+          itself interrupted and its partial work must not be trusted. *)
+  mutable in_recovery_session : bool;
+      (** volatile: true between the first {!begin_recovery} after a crash
+          and {!mark_recovered}, so the several tracers of one recovery
+          session share a single epoch transition.  Cleared by {!crash} —
+          a power failure forgets that a recovery was underway, which is
+          exactly what makes the persistent epoch necessary. *)
+  mutable last_interrupted : bool;
+      (** what the session's first {!begin_recovery} found (introspection) *)
 }
 
 let next_id = Atomic.make 0
@@ -72,6 +88,9 @@ let create ?(track_slots = true) ?(runtime_evict_prob = 0.0) ?(seed = 0xC0FFEE)
     rng = Random.State.make [| seed |];
     runtime_evict_prob;
     crashes = 0;
+    recovery_epoch = 0;
+    in_recovery_session = false;
+    last_interrupted = false;
   }
 
 let is_down t = t.down
@@ -211,11 +230,45 @@ let crash ?(policy = Adversarial) t =
   List.iter
     (fun reset -> reset ~persist_first:(persist_first && survive ()))
     t.slot_resets;
-  (* 3. volatile memory (DRAM replicas, caches) is gone *)
+  (* 3. volatile memory (DRAM replicas, caches) is gone — including the
+     knowledge that a recovery may have been underway *)
   List.iter (fun f -> f ()) t.volatile_invalidators;
+  t.in_recovery_session <- false;
   Mutex.unlock t.mutex
 
+(* -- the recovery epoch --------------------------------------------------- *)
+
+(** Open a recovery session on a crashed region.  Returns whether the
+    {e previous} recovery was interrupted (its epoch transition never
+    completed), i.e. whether any volatile state a careless driver might
+    have kept from it must be discarded.  The first call after a crash
+    flips the persistent epoch to odd (a recovery-write: immediately
+    durable); further calls in the same session — one region can host
+    several structures, each with its own tracer — are no-ops returning
+    the session's verdict.  Calling on a region that is {e up} is a pure
+    GC pass, not crash recovery: the epoch is not engaged and [false] is
+    returned. *)
+let begin_recovery t =
+  if not t.down then false
+  else if t.in_recovery_session then t.last_interrupted
+  else begin
+    t.in_recovery_session <- true;
+    let interrupted = t.recovery_epoch land 1 = 1 in
+    if not interrupted then t.recovery_epoch <- t.recovery_epoch + 1;
+    t.last_interrupted <- interrupted;
+    interrupted
+  end
+
+let recovery_epoch t = t.recovery_epoch
+let recovery_interrupted t = t.last_interrupted
+
 (** Recovery is complete; normal operation may resume.  Called by the
-    recovery procedure ({!Mirror_core.Roots.recover}) after it has restored
-    all volatile replicas reachable from the persistent roots. *)
-let mark_recovered t = t.down <- false
+    recovery procedure ({!Mirror_core.Recovery.recover}) after it has
+    restored all volatile replicas reachable from the persistent roots.
+    Finalizes the recovery epoch back to even — the durable record that
+    this recovery ran to completion. *)
+let mark_recovered t =
+  if t.recovery_epoch land 1 = 1 then
+    t.recovery_epoch <- t.recovery_epoch + 1;
+  t.in_recovery_session <- false;
+  t.down <- false

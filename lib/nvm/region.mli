@@ -73,5 +73,24 @@ val crash : ?policy:crash_policy -> t -> unit
 (** Simulate a full-system crash.  Callers must quiesce other domains first
     (the deterministic scheduler can crash mid-operation safely). *)
 
+val begin_recovery : t -> bool
+(** Open a recovery session on a crashed region and return whether the
+    {e previous} recovery was interrupted mid-way (detected through the
+    persistent recovery epoch: odd = a recovery started but never
+    finished).  The first call after a {!crash} flips the epoch to odd
+    with recovery-write (immediately durable) semantics; further calls in
+    the same session return the same verdict, so the several tracers of
+    one recovery share one epoch transition.  On a region that is up this
+    is a pure GC pass: the epoch is untouched and the result is [false]. *)
+
+val recovery_epoch : t -> int
+(** The persistent epoch counter.  Even = consistent; odd = a recovery is
+    (or was, if a crash intervened) in progress. *)
+
+val recovery_interrupted : t -> bool
+(** The verdict of the current/most recent session's first
+    {!begin_recovery}. *)
+
 val mark_recovered : t -> unit
-(** Recovery complete; normal operation may resume. *)
+(** Recovery complete; normal operation may resume.  Finalizes the
+    recovery epoch back to even. *)

@@ -201,7 +201,9 @@ let recover_store t v =
   let e = { v; ver = cur.ver + 1 } in
   Atomic.set t.current e;
   Atomic.set t.persisted (Some e);
-  Atomic.set t.lost false
+  Atomic.set t.lost false;
+  if !Hooks.access_on then
+    announce t Hooks.A_recovery_write ~seq:(entry_seq t e)
 
 (** Test/recovery introspection: what would survive a crash right now
     (assuming pending write-backs are lost). *)

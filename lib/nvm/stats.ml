@@ -26,6 +26,13 @@ type t = {
   mutable cas_retry : int;  (** protocol-level retries *)
   mutable alloc : int;
   mutable reclaim : int;  (** nodes handed back by the EBR *)
+  (* recovery-time counters, maintained by [Heap.recover] and the tracing
+     drivers: how much work recovery did and how it parallelised *)
+  mutable rec_marked : int;  (** objects traced by the recovery mark phase *)
+  mutable rec_swept : int;  (** dead blocks returned to free lists *)
+  mutable rec_steals : int;  (** successful work-steals between mark workers *)
+  mutable rec_mark_ns : int;  (** wall-clock ns spent in the mark phase *)
+  mutable rec_sweep_ns : int;  (** wall-clock ns spent in the sweep phase *)
 }
 
 let zero () =
@@ -44,6 +51,11 @@ let zero () =
     cas_retry = 0;
     alloc = 0;
     reclaim = 0;
+    rec_marked = 0;
+    rec_swept = 0;
+    rec_steals = 0;
+    rec_mark_ns = 0;
+    rec_sweep_ns = 0;
   }
 
 let add ~into:a b =
@@ -60,7 +72,12 @@ let add ~into:a b =
   a.help <- a.help + b.help;
   a.cas_retry <- a.cas_retry + b.cas_retry;
   a.alloc <- a.alloc + b.alloc;
-  a.reclaim <- a.reclaim + b.reclaim
+  a.reclaim <- a.reclaim + b.reclaim;
+  a.rec_marked <- a.rec_marked + b.rec_marked;
+  a.rec_swept <- a.rec_swept + b.rec_swept;
+  a.rec_steals <- a.rec_steals + b.rec_steals;
+  a.rec_mark_ns <- a.rec_mark_ns + b.rec_mark_ns;
+  a.rec_sweep_ns <- a.rec_sweep_ns + b.rec_sweep_ns
 
 let clear t =
   t.dram_read <- 0;
@@ -76,7 +93,12 @@ let clear t =
   t.help <- 0;
   t.cas_retry <- 0;
   t.alloc <- 0;
-  t.reclaim <- 0
+  t.reclaim <- 0;
+  t.rec_marked <- 0;
+  t.rec_swept <- 0;
+  t.rec_steals <- 0;
+  t.rec_mark_ns <- 0;
+  t.rec_sweep_ns <- 0
 
 (* Registry of every per-domain recorder ever created.  Protected by a mutex;
    only touched on domain startup and when the harness collects. *)
@@ -110,7 +132,9 @@ let reset_all () =
 let pp ppf t =
   Format.fprintf ppf
     "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d) flush=%d fence=%d \
-     elided(fl=%d fe=%d) help=%d retry=%d alloc=%d reclaim=%d"
+     elided(fl=%d fe=%d) help=%d retry=%d alloc=%d reclaim=%d rec(marked=%d \
+     swept=%d steals=%d mark_ns=%d sweep_ns=%d)"
     t.dram_read t.dram_write t.dram_cas t.nvm_read t.nvm_write t.nvm_cas
     t.flush t.fence t.flush_elided t.fence_elided t.help t.cas_retry t.alloc
-    t.reclaim
+    t.reclaim t.rec_marked t.rec_swept t.rec_steals t.rec_mark_ns
+    t.rec_sweep_ns

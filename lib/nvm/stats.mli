@@ -22,6 +22,11 @@ type t = {
   mutable cas_retry : int;
   mutable alloc : int;
   mutable reclaim : int;
+  mutable rec_marked : int;
+  mutable rec_swept : int;
+  mutable rec_steals : int;
+  mutable rec_mark_ns : int;
+  mutable rec_sweep_ns : int;
 }
 
 val zero : unit -> t

@@ -23,11 +23,36 @@ open Mirror_nvm
 let num_roots = 16
 let classes = [| 2; 4; 8; 16; 32; 64 |]
 
+(* The sweep parallelises over fixed segments; each segment's first header
+   offset is kept in a persistent seam table so a worker can start parsing
+   mid-heap without scanning from word 1 (headers are self-delimiting but
+   only forward: a parse can cross a seam, never discover one).  64 seams
+   cost 64 words of NVMM per heap and one extra store+flush per segment's
+   first allocation ever. *)
+let num_segments = 64
+
+type recovery_stats = {
+  r_domains : int;  (** workers the recovery ran with *)
+  r_marked : int;  (** nodes traced (parallel duplicates included) *)
+  r_live : int;  (** marked blocks found live by the sweep *)
+  r_swept : int;  (** dead blocks returned to the free lists *)
+  r_steals : int;  (** successful work-steals between mark workers *)
+  r_mark_ns : int;  (** wall-clock ns of the mark phase *)
+  r_sweep_ns : int;  (** wall-clock ns of the sweep + validation phase *)
+  r_worker_marked : int array;  (** per-worker nodes traced *)
+  r_worker_parsed : int array;  (** per-worker headers parsed *)
+}
+
 type t = {
   words : int Slot.t array;
   roots : int Slot.t array;  (** persistent root offsets; 0 = null *)
+  seams : int Slot.t array;
+      (** per-segment first header offset (0 = no header starts there);
+          written once per segment under the allocator lock, flushed with
+          the same fence as the header it names *)
   region : Region.t;
   capacity : int;
+  seg_len : int;  (** words per sweep segment (last segment absorbs the rest) *)
   (* volatile allocator metadata — lost in a crash, rebuilt by recovery *)
   mutable bump : int;
   free_lists : int list array;  (** per size class *)
@@ -35,22 +60,49 @@ type t = {
       (** allocator lock; a cooperative spinlock so logical schedsim threads
           can contend on it without deadlocking one OS thread *)
   mutable live_objects : int;  (** statistic maintained by alloc/free/recover *)
+  mutable last_recovery : recovery_stats option;
 }
 
 exception Out_of_memory
+
+exception
+  Recovery_corrupt of {
+    offset : int;
+    tag : int;
+        (** the corrupt word's content; [0] for a torn hole (a zero tag with
+            allocated blocks after it), [-1] for a pointer outside the
+            heap *)
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Recovery_corrupt { offset; tag } ->
+        Some
+          (Printf.sprintf
+             "Mirror_nvmheap.Heap.Recovery_corrupt { offset = %d; tag = %d }"
+             offset tag)
+    | _ -> None)
 
 let create ?(words = 1 lsl 16) region =
   {
     (* word 0 is reserved so that offset 0 can mean null *)
     words = Array.init words (fun _ -> Slot.make ~persist:true region 0);
     roots = Array.init num_roots (fun _ -> Slot.make ~persist:true region 0);
+    seams = Array.init num_segments (fun _ -> Slot.make ~persist:true region 0);
     region;
     capacity = words;
+    seg_len = max 1 (words / num_segments);
     bump = 1;
     free_lists = Array.map (fun _ -> []) classes;
     lock = Atomic.make false;
     live_objects = 0;
+    last_recovery = None;
   }
+
+let seg_of t off = min (off / t.seg_len) (num_segments - 1)
+
+let seg_end t s =
+  if s = num_segments - 1 then t.capacity else (s + 1) * t.seg_len
 
 let rec lock t =
   if not (Atomic.compare_and_set t.lock false true) then begin
@@ -111,6 +163,14 @@ let alloc t size =
         Slot.store t.words.(header) (cls + 1)
         (* class tag; 0 = never allocated *);
         Slot.flush t.words.(header);
+        (* first header of its sweep segment: record the seam, covered by
+           the same fence as the header (both durable or both lost; every
+           mixed eviction outcome still parses — see docs/MODEL.md) *)
+        let seg = seg_of t header in
+        if Slot.peek t.seams.(seg) = 0 then begin
+          Slot.store t.seams.(seg) header;
+          Slot.flush t.seams.(seg)
+        end;
         Region.fence t.region;
         header + 1
   in
@@ -133,41 +193,301 @@ let free t payload =
 
 (* -- recovery: offline mark-sweep -------------------------------------------- *)
 
-(** Rebuild the volatile allocator metadata after a crash.  [trace] receives
-    a live payload offset and returns the payload offsets it points to
-    (decode your own pointer encoding before returning them; 0s are
-    ignored).  Everything unreachable from the persistent roots is swept
-    onto the free lists — the paper's offline GC. *)
-let recover t ~(trace : int -> int list) =
-  lock t;
-  (* reset the cache view of every word to its persisted content happens in
-     Region.crash; here we only rebuild metadata *)
-  let marked = Hashtbl.create 256 in
-  let rec mark off =
-    if off <> 0 && not (Hashtbl.mem marked off) then begin
-      Hashtbl.replace marked off ();
-      List.iter mark (trace off)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* A work-stealing deque (LIFO owner end, thieves take the bottom half).
+   Plain mutex per stack: mark workers never hold it across a yield, so it
+   is safe both under real domains and under the cooperative scheduler. *)
+type wstack = { mu : Mutex.t; mutable buf : int array; mutable len : int }
+
+let mk_wstack () = { mu = Mutex.create (); buf = Array.make 64 0; len = 0 }
+
+let ws_push st off =
+  Mutex.lock st.mu;
+  if st.len = Array.length st.buf then begin
+    let nb = Array.make (2 * st.len) 0 in
+    Array.blit st.buf 0 nb 0 st.len;
+    st.buf <- nb
+  end;
+  st.buf.(st.len) <- off;
+  st.len <- st.len + 1;
+  Mutex.unlock st.mu
+
+let ws_pop st =
+  Mutex.lock st.mu;
+  let r =
+    if st.len = 0 then None
+    else begin
+      st.len <- st.len - 1;
+      Some st.buf.(st.len)
     end
   in
-  Array.iter (fun r -> mark (Slot.peek r)) t.roots;
-  (* linear parse by headers to find the heap end and sweep dead blocks *)
-  Array.iteri (fun i _ -> t.free_lists.(i) <- []) classes;
-  t.live_objects <- 0;
-  let pos = ref 1 in
-  let continue_ = ref true in
-  while !continue_ && !pos < t.capacity do
-    let tag = Slot.peek t.words.(!pos) in
-    if tag = 0 then continue_ := false (* untouched heap from here on *)
-    else begin
-      let cls = tag - 1 in
-      let payload = !pos + 1 in
-      if Hashtbl.mem marked payload then t.live_objects <- t.live_objects + 1
-      else t.free_lists.(cls) <- payload :: t.free_lists.(cls);
-      pos := !pos + classes.(cls) + 1
+  Mutex.unlock st.mu;
+  r
+
+(* Steal the bottom half of [victim]; returns the loot (oldest first). *)
+let ws_steal victim =
+  Mutex.lock victim.mu;
+  let k = victim.len / 2 in
+  let loot = Array.sub victim.buf 0 k in
+  if k > 0 then begin
+    Array.blit victim.buf k victim.buf 0 (victim.len - k);
+    victim.len <- victim.len - k
+  end;
+  Mutex.unlock victim.mu;
+  loot
+
+(** Rebuild the volatile allocator metadata after a crash: the paper's
+    offline GC, parallelised.  [trace] receives a live payload offset and
+    returns the payload offsets it points to (decode your own pointer
+    encoding before returning them; 0s are ignored).  Everything
+    unreachable from the persistent roots is swept onto the free lists.
+
+    [domains] (default 1) is the worker count: the mark phase shards the
+    persistent roots across workers with work-stealing gray-stacks, and the
+    sweep parses the {!num_segments} fixed segments in parallel, each
+    worker starting at its segment's persistent seam.  [runner] overrides
+    how worker bodies are executed (default: [Domain.spawn] for workers
+    1..n-1 with the caller participating as worker 0) — the benchmark
+    harness passes a deterministic-scheduler runner so per-worker work
+    tallies are reproducible on any machine.
+
+    Recovery is idempotent and restartable: it opens a recovery session on
+    the region (persistent epoch goes odd until {!Region.mark_recovered}),
+    only reads the persistent space, and rebuilds every piece of volatile
+    metadata from scratch — killing it at any point and re-running from
+    the start yields the same result as an uninterrupted run.
+
+    Determinism: with any worker count, the marked set equals the set
+    reachable from the roots, sweep results are merged per-segment in
+    ascending segment order, and free-list entries come out in ascending
+    offset order — so sequential and parallel recovery rebuild {e
+    identical} allocator states.
+
+    @raise Recovery_corrupt when the persistent image fails validation: a
+    header tag outside the size-class range, a block overrunning the heap,
+    a pointer outside the heap, a torn hole (zero tag followed by
+    allocated blocks), or residue beyond the heap end. *)
+let recover ?(domains = 1) ?runner t ~(trace : int -> int list) =
+  if domains < 1 then invalid_arg "Heap.recover: domains must be >= 1";
+  let interrupted = Region.begin_recovery t.region in
+  ignore (interrupted : bool);
+  Hooks.with_recovery @@ fun () ->
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) @@ fun () ->
+  Hooks.recovery_point Hooks.R_begin;
+  let cap = t.capacity in
+  let nw = domains in
+  let seq_mode = nw = 1 && runner = None in
+  (* In sequential mode the fine-grained kill points (R_root, R_sweep) fire
+     and exceptions propagate directly; parallel workers never call hooks
+     (not thread-safe) and funnel exceptions through [err]. *)
+  let err : exn option Atomic.t = Atomic.make None in
+  let record_err e = ignore (Atomic.compare_and_set err None (Some e)) in
+  let reraise () = match Atomic.get err with Some e -> raise e | None -> () in
+  (* ---- mark ---- *)
+  let t0 = now_ns () in
+  let marks = Bytes.make cap '\000' in
+  let stacks = Array.init nw (fun _ -> mk_wstack ()) in
+  let tasks = Atomic.make 0 in
+  let marked_counts = Array.make nw 0 in
+  let parsed_counts = Array.make nw 0 in
+  let steal_counts = Array.make nw 0 in
+  (* Racy test-and-set on the byte map: two workers may both claim a node
+     and trace it twice (counted in [r_marked]), but the marked set is
+     exactly the reachable set either way — bytes have no tearing and the
+     only transition is 0 -> 1. *)
+  let visit st off =
+    if off <> 0 then begin
+      if off < 0 || off >= cap then
+        raise (Recovery_corrupt { offset = off; tag = -1 });
+      if Bytes.unsafe_get marks off = '\000' then begin
+        Bytes.unsafe_set marks off '\001';
+        Atomic.incr tasks;
+        ws_push st off
+      end
     end
+  in
+  let mark_worker w () =
+    let st = stacks.(w) in
+    let rec loop idle_rounds =
+      if Atomic.get err <> None then ()
+      else
+        match ws_pop st with
+        | Some off ->
+            marked_counts.(w) <- marked_counts.(w) + 1;
+            List.iter (fun o -> visit st o) (trace off);
+            Atomic.decr tasks;
+            if not seq_mode then Hooks.yield ();
+            loop 0
+        | None ->
+            if Atomic.get tasks > 0 then begin
+              (* steal: sweep the other stacks round-robin from w+1 *)
+              let got = ref false in
+              for d = 1 to nw - 1 do
+                if not !got then begin
+                  let v = (w + d) mod nw in
+                  let loot = ws_steal stacks.(v) in
+                  if Array.length loot > 0 then begin
+                    got := true;
+                    steal_counts.(w) <- steal_counts.(w) + 1;
+                    Array.iter (fun off -> ws_push st off) loot
+                  end
+                end
+              done;
+              if not seq_mode then Hooks.yield ();
+              Domain.cpu_relax ();
+              loop (if !got then 0 else idle_rounds + 1)
+            end
+    in
+    try loop 0
+    with e -> if seq_mode then raise e else record_err e
+  in
+  if seq_mode then
+    (* one kill point per root, draining the gray-stack in between *)
+    Array.iter
+      (fun r ->
+        Hooks.recovery_point Hooks.R_root;
+        visit stacks.(0) (Slot.peek r);
+        mark_worker 0 ())
+      t.roots
+  else begin
+    Array.iteri
+      (fun i r -> visit stacks.(i mod nw) (Slot.peek r))
+      t.roots;
+    (match runner with
+    | Some run -> run (List.init nw (fun w -> mark_worker w))
+    | None ->
+        let doms =
+          Array.init (nw - 1) (fun i -> Domain.spawn (mark_worker (i + 1)))
+        in
+        mark_worker 0 ();
+        Array.iter Domain.join doms);
+    reraise ()
+  end;
+  let t1 = now_ns () in
+  Hooks.recovery_point Hooks.R_mark_done;
+  (* ---- sweep: parse each segment from its persistent seam ---- *)
+  let seg_free = Array.make num_segments [] in
+  (* per-segment (cls, payload) pairs, descending offsets *)
+  let seg_live = Array.make num_segments 0 in
+  let seg_ends = Array.make num_segments 0 in
+  (* 0 = segment never parsed (empty) *)
+  let seg_frontier = Array.make num_segments 0 in
+  (* 0 = no zero tag seen *)
+  let parse_segment w s =
+    let start = Slot.peek t.seams.(s) in
+    if start <> 0 then begin
+      let stop = seg_end t s in
+      let pos = ref start in
+      let fin = ref false in
+      while (not !fin) && !pos < stop do
+        let tag = Slot.peek t.words.(!pos) in
+        if tag = 0 then begin
+          (* frontier candidate: valid only if nothing allocated beyond *)
+          seg_frontier.(s) <- !pos;
+          seg_ends.(s) <- !pos;
+          fin := true
+        end
+        else if tag < 1 || tag > Array.length classes then
+          raise (Recovery_corrupt { offset = !pos; tag })
+        else begin
+          let cls = tag - 1 in
+          let block_end = !pos + classes.(cls) + 1 in
+          if block_end > cap then raise (Recovery_corrupt { offset = !pos; tag });
+          let payload = !pos + 1 in
+          if Bytes.get marks payload = '\001' then
+            seg_live.(s) <- seg_live.(s) + 1
+          else seg_free.(s) <- (cls, payload) :: seg_free.(s);
+          parsed_counts.(w) <- parsed_counts.(w) + 1;
+          pos := block_end
+        end
+      done;
+      if not !fin then seg_ends.(s) <- !pos
+      (* a block may straddle the seam into the next segment(s); those
+         segments have seam 0 for the covered prefix, and [seg_ends] here
+         extends past [stop] — the global heap end is the max over all *)
+    end
+  in
+  let seg_claim = Atomic.make 0 in
+  let sweep_worker w () =
+    let rec loop () =
+      if Atomic.get err <> None then ()
+      else begin
+        let s = Atomic.fetch_and_add seg_claim 1 in
+        if s < num_segments then begin
+          if seq_mode then Hooks.recovery_point Hooks.R_sweep;
+          parse_segment w s;
+          if not seq_mode then Hooks.yield ();
+          loop ()
+        end
+      end
+    in
+    try loop ()
+    with e -> if seq_mode then raise e else record_err e
+  in
+  if seq_mode then sweep_worker 0 ()
+  else begin
+    (match runner with
+    | Some run -> run (List.init nw (fun w -> sweep_worker w))
+    | None ->
+        let doms =
+          Array.init (nw - 1) (fun i -> Domain.spawn (sweep_worker (i + 1)))
+        in
+        sweep_worker 0 ();
+        Array.iter Domain.join doms);
+    reraise ()
+  end;
+  (* ---- merge + validate ---- *)
+  let bump = ref 1 in
+  Array.iter (fun e -> if e > !bump then bump := e) seg_ends;
+  (* at most one allocation can be in flight at a crash (header + fence
+     happen under the allocator lock), so at most one zero-tag frontier may
+     sit below the heap end: any hole with allocated blocks after it means
+     a torn heap *)
+  Array.iter
+    (fun f -> if f <> 0 && f < !bump then raise (Recovery_corrupt { offset = f; tag = 0 }))
+    seg_frontier;
+  (* residue check: everything beyond the heap end must be virgin *)
+  for off = !bump to cap - 1 do
+    let w = Slot.peek t.words.(off) in
+    if w <> 0 then raise (Recovery_corrupt { offset = off; tag = w })
   done;
-  t.bump <- !pos;
-  unlock t
+  (* deterministic rebuild: walking segments descending and prepending
+     each segment's (descending) entries yields ascending free lists *)
+  Array.iteri (fun i _ -> t.free_lists.(i) <- []) classes;
+  let swept = ref 0 in
+  for s = num_segments - 1 downto 0 do
+    List.iter
+      (fun (cls, payload) ->
+        incr swept;
+        t.free_lists.(cls) <- payload :: t.free_lists.(cls))
+      seg_free.(s)
+  done;
+  t.live_objects <- Array.fold_left ( + ) 0 seg_live;
+  t.bump <- !bump;
+  let t2 = now_ns () in
+  let total = Array.fold_left ( + ) 0 in
+  let st = Stats.get () in
+  st.Stats.rec_marked <- st.Stats.rec_marked + total marked_counts;
+  st.Stats.rec_swept <- st.Stats.rec_swept + !swept;
+  st.Stats.rec_steals <- st.Stats.rec_steals + total steal_counts;
+  st.Stats.rec_mark_ns <- st.Stats.rec_mark_ns + (t1 - t0);
+  st.Stats.rec_sweep_ns <- st.Stats.rec_sweep_ns + (t2 - t1);
+  t.last_recovery <-
+    Some
+      {
+        r_domains = nw;
+        r_marked = total marked_counts;
+        r_live = t.live_objects;
+        r_swept = !swept;
+        r_steals = total steal_counts;
+        r_mark_ns = t1 - t0;
+        r_sweep_ns = t2 - t1;
+        r_worker_marked = Array.copy marked_counts;
+        r_worker_parsed = Array.copy parsed_counts;
+      };
+  Hooks.recovery_point Hooks.R_done
 
 (** The paper's address-translation claim, executable: because pointers are
     offsets, the heap content can be copied to a fresh mapping (a new base
@@ -188,12 +508,20 @@ let remap t =
             Slot.make ~persist:true t.region
               (Option.value ~default:0 (Slot.persisted_value r)))
           t.roots;
+      seams =
+        Array.map
+          (fun sl ->
+            Slot.make ~persist:true t.region
+              (Option.value ~default:0 (Slot.persisted_value sl)))
+          t.seams;
       region = t.region;
       capacity = t.capacity;
+      seg_len = t.seg_len;
       bump = t.bump;
       free_lists = Array.copy t.free_lists;
       lock = Atomic.make false;
       live_objects = t.live_objects;
+      last_recovery = None;
     }
   in
   fresh
@@ -205,3 +533,6 @@ let words_used t = t.bump
 
 let free_list_sizes t =
   Array.to_list (Array.map List.length t.free_lists)
+
+let free_list_dump t = Array.copy t.free_lists
+let last_recovery t = t.last_recovery

@@ -10,7 +10,31 @@
 
 type t
 
+type recovery_stats = {
+  r_domains : int;  (** workers the recovery ran with *)
+  r_marked : int;  (** nodes traced (parallel duplicates included) *)
+  r_live : int;  (** marked blocks found live by the sweep *)
+  r_swept : int;  (** dead blocks returned to the free lists *)
+  r_steals : int;  (** successful work-steals between mark workers *)
+  r_mark_ns : int;  (** wall-clock ns of the mark phase *)
+  r_sweep_ns : int;  (** wall-clock ns of the sweep + validation phase *)
+  r_worker_marked : int array;  (** per-worker nodes traced *)
+  r_worker_parsed : int array;  (** per-worker headers parsed *)
+}
+
 exception Out_of_memory
+
+exception Recovery_corrupt of { offset : int; tag : int }
+(** The persistent image failed validation during {!recover}: a header tag
+    outside the size-class range, a block overrunning the heap, a torn
+    hole ([tag = 0] with allocated blocks after it), residue beyond the
+    heap end, or a traced pointer outside the heap ([tag = -1]). *)
+
+val num_segments : int
+(** Fixed sweep-segment count (the persistent seam table's size). *)
+
+val num_roots : int
+(** Number of persistent root slots per heap. *)
 
 val create : ?words:int -> Mirror_nvm.Region.t -> t
 
@@ -43,10 +67,28 @@ val free : t -> int -> unit
 
 (** {1 Recovery} *)
 
-val recover : t -> trace:(int -> int list) -> unit
+val recover :
+  ?domains:int ->
+  ?runner:((unit -> unit) list -> unit) ->
+  t ->
+  trace:(int -> int list) ->
+  unit
 (** Offline mark–sweep: [trace payload] returns the payload offsets the
     object points to (0s ignored).  Rebuilds bump pointer, free lists and
-    the live-object count. *)
+    the live-object count; validates the persistent image
+    (@raise Recovery_corrupt on failure).
+
+    [domains] (default 1) workers share the mark via work-stealing
+    gray-stacks and parse sweep segments in parallel from their persistent
+    seams; results are deterministic and identical to the sequential
+    path's (free lists in ascending offset order).  [runner] overrides
+    worker execution (default [Domain.spawn]); the harness passes a
+    deterministic-scheduler runner for reproducible per-worker tallies.
+
+    Restartable: opens a recovery session on the region (persistent epoch
+    odd until {!Mirror_nvm.Region.mark_recovered}); killing it at any
+    point and re-running from scratch is safe and yields the same
+    result. *)
 
 val remap : t -> t
 (** The address-translation argument, executable: copy the persisted
@@ -57,3 +99,10 @@ val remap : t -> t
 val live_objects : t -> int
 val words_used : t -> int
 val free_list_sizes : t -> int list
+
+val free_list_dump : t -> int list array
+(** A copy of the per-class free lists (payload offsets) — equivalence
+    tests compare these across sequential and parallel recovery. *)
+
+val last_recovery : t -> recovery_stats option
+(** Counters from the most recent {!recover} on this heap handle. *)

@@ -164,5 +164,7 @@ let to_list t =
 let trace heap payload = [ dec_off (Heap.peek heap (payload + 1)) ]
 
 (** Offline mark–sweep from the persistent roots: rebuilds the allocator's
-    volatile metadata and reclaims unreachable blocks (§4.3.3). *)
-let recover t = Heap.recover t.heap ~trace:(trace t.heap)
+    volatile metadata and reclaims unreachable blocks (§4.3.3).
+    [domains]/[runner] are passed through to {!Heap.recover}. *)
+let recover ?domains ?runner t =
+  Heap.recover ?domains ?runner t.heap ~trace:(trace t.heap)

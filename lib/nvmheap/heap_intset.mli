@@ -21,5 +21,7 @@ val contains : t -> int -> bool
 val to_list : t -> int list
 (** Quiesced inspection. *)
 
-val recover : t -> unit
-(** Run the offline mark–sweep from this set's root. *)
+val recover :
+  ?domains:int -> ?runner:((unit -> unit) list -> unit) -> t -> unit
+(** Run the offline mark–sweep from this set's root (see
+    {!Heap.recover}). *)

@@ -1,0 +1,145 @@
+(** Seeded random heap builders for recovery tests and benchmarks.
+
+    Each builder populates a fresh {!Heap} with [live] reachable nodes of a
+    given pointer [shape] plus a proportion of unreachable garbage blocks
+    interleaved with them, and returns the tracing routine recovery needs.
+    Nodes are class-4 blocks: [payload+0] = value, [payload+1..3] = child
+    payload offsets (0 = null).
+
+    The shapes span the parallelism spectrum of the mark phase: [Chain] is
+    the sequential worst case (one pointer at a time), [Tree] and [Dag]
+    fan out, and [Forest] is embarrassingly parallel (one independent tree
+    per persistent root).  Construction is deterministic in [seed]. *)
+
+type shape = Chain | Tree | Dag | Forest
+
+let shape_name = function
+  | Chain -> "chain"
+  | Tree -> "tree"
+  | Dag -> "dag"
+  | Forest -> "forest"
+
+let all_shapes = [ Chain; Tree; Dag; Forest ]
+
+type built = {
+  trace : int -> int list;  (** the tracing routine for {!Heap.recover} *)
+  live : int list;  (** payload offsets of the reachable nodes, ascending *)
+  garbage : int list;  (** payload offsets of the unreachable blocks *)
+}
+
+let node_words = 4
+
+(** Words a heap must have for [build ~live ~garbage_ratio]: each node is a
+    class-4 block (header + 4 words), plus the reserved word 0 and slack
+    for rounding. *)
+let words_needed ~live ~garbage_ratio =
+  let total = live + int_of_float (float_of_int live *. garbage_ratio) in
+  1 + ((total + 2) * (node_words + 1)) + 64
+
+(* splitmix64-style mixer over OCaml's native int: deterministic,
+   dependency-free (the harness Rng lives above this library). *)
+let mix z =
+  let z = (z + 0x2e3779b97f4a7c15) land max_int in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb land max_int in
+  z lxor (z lsr 31)
+
+let trace_of heap payload =
+  [
+    Heap.peek heap (payload + 1);
+    Heap.peek heap (payload + 2);
+    Heap.peek heap (payload + 3);
+  ]
+
+(** Build a [shape]-shaped object graph of [live] nodes in [heap], with
+    [garbage_ratio] (default 0.5) unreachable blocks interleaved among
+    them, rooted across the heap's persistent root slots.  When [durable]
+    (default true) every link is flushed and fenced so the graph survives
+    a {!Mirror_nvm.Region.crash}; benchmarks on non-tracking regions pass
+    [~durable:false] to skip the persist traffic. *)
+let build ?(shape = Tree) ?(garbage_ratio = 0.5) ?(durable = true) ~seed ~live
+    heap =
+  if live < 1 then invalid_arg "Shapes.build: live must be >= 1";
+  let rng = ref (mix (seed + 1)) in
+  let next () =
+    rng := mix !rng;
+    !rng
+  in
+  (* allocate live nodes and garbage interleaved, deterministically *)
+  let nodes = Array.make live 0 in
+  let garbage = ref [] in
+  let budget = ref (float_of_int live *. garbage_ratio) in
+  for i = 0 to live - 1 do
+    if !budget >= 1.0 && next () mod 2 = 0 then begin
+      budget := !budget -. 1.0;
+      let g = Heap.alloc heap node_words in
+      (* garbage keeps zero links; its header alone is what the sweep
+         needs, and alloc already persisted that *)
+      garbage := g :: !garbage
+    end;
+    nodes.(i) <- Heap.alloc heap node_words
+  done;
+  while !budget >= 1.0 do
+    budget := !budget -. 1.0;
+    garbage := Heap.alloc heap node_words :: !garbage
+  done;
+  let link i slot j =
+    Heap.set heap (nodes.(i) + slot) (if j < 0 then 0 else nodes.(j))
+  in
+  let roots = ref [] in
+  (* shape the live graph *)
+  (match shape with
+  | Chain ->
+      for i = 0 to live - 1 do
+        link i 1 (if i + 1 < live then i + 1 else -1)
+      done;
+      roots := [ nodes.(0) ]
+  | Tree ->
+      for i = 0 to live - 1 do
+        link i 1 (if (2 * i) + 1 < live then (2 * i) + 1 else -1);
+        link i 2 (if (2 * i) + 2 < live then (2 * i) + 2 else -1)
+      done;
+      roots := [ nodes.(0) ]
+  | Dag ->
+      for i = 0 to live - 1 do
+        link i 1 (if (2 * i) + 1 < live then (2 * i) + 1 else -1);
+        link i 2 (if (2 * i) + 2 < live then (2 * i) + 2 else -1);
+        (* a random cross edge: sharing is what makes the racy mark's
+           duplicate suppression matter *)
+        link i 3 (next () mod live)
+      done;
+      roots := [ nodes.(0) ]
+  | Forest ->
+      (* one independent binary tree per persistent root slot *)
+      let nroots = min Heap.num_roots live in
+      let base r = r * live / nroots in
+      let limit r = (r + 1) * live / nroots in
+      for r = 0 to nroots - 1 do
+        let lo = base r and hi = limit r in
+        let n = hi - lo in
+        if n > 0 then begin
+          for k = 0 to n - 1 do
+            let i = lo + k in
+            link i 1 (if (2 * k) + 1 < n then lo + (2 * k) + 1 else -1);
+            link i 2 (if (2 * k) + 2 < n then lo + (2 * k) + 2 else -1)
+          done;
+          roots := nodes.(lo) :: !roots
+        end
+      done);
+  (* values + persistence *)
+  for i = 0 to live - 1 do
+    Heap.set heap nodes.(i) (next () land 0xFFFF);
+    if durable then begin
+      Heap.flush heap nodes.(i);
+      Heap.flush heap (nodes.(i) + 1);
+      Heap.flush heap (nodes.(i) + 2);
+      Heap.flush heap (nodes.(i) + 3)
+    end
+  done;
+  if durable then Heap.fence heap;
+  List.iteri (fun r off -> Heap.root_set heap r off) (List.rev !roots);
+  {
+    trace = trace_of heap;
+    live = List.sort compare (Array.to_list nodes);
+    garbage = List.sort compare !garbage;
+  }

@@ -1,0 +1,36 @@
+(** Seeded random heap builders for recovery tests and benchmarks: populate
+    a fresh {!Heap} with a reachable object graph of a chosen pointer
+    shape plus interleaved unreachable garbage, deterministically in the
+    seed.  See the implementation header for the node layout. *)
+
+type shape =
+  | Chain  (** single linked chain: the mark phase's sequential worst case *)
+  | Tree  (** binary tree: fans out after a sequential prefix *)
+  | Dag  (** tree plus random cross edges: exercises duplicate suppression *)
+  | Forest  (** one independent tree per persistent root: fully parallel *)
+
+val shape_name : shape -> string
+val all_shapes : shape list
+
+type built = {
+  trace : int -> int list;  (** the tracing routine for {!Heap.recover} *)
+  live : int list;  (** payload offsets of the reachable nodes, ascending *)
+  garbage : int list;  (** payload offsets of the unreachable blocks *)
+}
+
+val node_words : int
+
+val words_needed : live:int -> garbage_ratio:float -> int
+(** Heap words required by {!build} with these parameters. *)
+
+val build :
+  ?shape:shape ->
+  ?garbage_ratio:float ->
+  ?durable:bool ->
+  seed:int ->
+  live:int ->
+  Heap.t ->
+  built
+(** Populate [heap].  [garbage_ratio] (default 0.5) unreachable blocks per
+    live node are interleaved with the graph; [durable] (default true)
+    flushes and fences every link so the graph survives a region crash. *)

@@ -284,6 +284,15 @@ let check_band t p (a : Hooks.access) =
 let on_access_locked t (a : Hooks.access) =
   t.events <- t.events + 1;
   match a.a_op with
+  | Hooks.A_recovery_write ->
+      (* privileged recovery write: store with immediate durability while
+         the region is down.  Both shadow models agree the announced
+         version is durable; no discipline rule applies (recovery is the
+         only code running). *)
+      let s = slot_st t a in
+      record_trace t s a;
+      s.lenient_pv <- max s.lenient_pv a.a_seq;
+      s.strict_pv <- max s.strict_pv s.lenient_pv
   | Hooks.A_fence | Hooks.A_fence_elided -> (
       let strict = strict_of t a.a_tid in
       let commit_strict () =
@@ -410,15 +419,24 @@ let on_access_locked t (a : Hooks.access) =
              genuinely durable under both models *)
           s.lenient_pv <- max s.lenient_pv a.a_seq;
           s.strict_pv <- max s.strict_pv s.lenient_pv
-      | Hooks.A_fence | Hooks.A_fence_elided -> assert false)
+      | Hooks.A_fence | Hooks.A_fence_elided | Hooks.A_recovery_write ->
+          assert false)
 
 let on_access t a =
-  Mutex.lock t.mu;
-  (try on_access_locked t a
-   with e ->
-     Mutex.unlock t.mu;
-     raise e);
-  Mutex.unlock t.mu
+  (* recovery accesses are privileged (cost-free peeks, immediately
+     durable recovery writes, no concurrent mutators): the hot-path
+     discipline does not apply, so the sanitizer stays silent for the
+     whole bracket — except for the recovery writes themselves, which
+     update the shadow durable state above *)
+  if !Hooks.in_recovery && a.Hooks.a_op <> Hooks.A_recovery_write then ()
+  else begin
+    Mutex.lock t.mu;
+    (try on_access_locked t a
+     with e ->
+       Mutex.unlock t.mu;
+       raise e);
+    Mutex.unlock t.mu
+  end
 
 let on_op_locked t (m : Hooks.op_mark) =
   let tid = Hooks.tid () in

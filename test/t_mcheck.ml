@@ -49,10 +49,15 @@ let manual_scenario ~prim ~(observe : (int * int) list ref option)
   in
   {
     M.tasks = List.mapi task threads;
+    region;
     crash_recover =
       (fun () ->
         Mirror_nvm.Region.crash ~policy:Adversarial region;
-        S.recover t;
+        let (_ : bool) = Mirror_nvm.Region.begin_recovery region in
+        Mirror_nvm.Hooks.with_recovery (fun () ->
+            Mirror_nvm.Hooks.recovery_point Mirror_nvm.Hooks.R_begin;
+            S.recover t;
+            Mirror_nvm.Hooks.recovery_point Mirror_nvm.Hooks.R_done);
         Mirror_nvm.Region.mark_recovered region);
     validate =
       (fun () ->
