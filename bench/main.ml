@@ -554,6 +554,94 @@ let run_recovery smoke =
   print_newline ();
   pts
 
+(* -- alloc panel ---------------------------------------------------------------- *)
+
+(* Sharded arenas vs the old global-lock allocator on an alloc/free-heavy
+   schedsim workload.  The Mops column is the deterministic Amdahl model
+   (persist costs serial under the lock, parallel when sharded); the
+   speedup column at N threads is what the alloc budgets gate.  See
+   Figures.run_alloc_panel. *)
+let run_alloc () =
+  print_endline
+    "=== alloc panel: sharded arenas vs global-lock allocator (schedsim, \
+     modeled Mops)";
+  let pts = F.run_alloc_panel () in
+  Printf.printf "%-8s %8s %8s %10s %9s %7s %8s %7s %7s %7s\n" "policy"
+    "threads" "ops" "mops" "wall-ms" "carves" "rfrees" "drains" "fl/op"
+    "fe/op";
+  List.iter
+    (fun p ->
+      Printf.printf "%-8s %8d %8d %10.2f %9.2f %7d %8d %7d %7.3f %7.3f%s\n%!"
+        p.F.ap_policy p.F.ap_threads p.F.ap_ops p.F.ap_mops p.F.ap_wall_ms
+        p.F.ap_carves p.F.ap_remote_frees p.F.ap_drains p.F.ap_flushes
+        p.F.ap_fences
+        (if p.F.ap_policy = "sharded" then
+           match
+             List.find_opt
+               (fun q ->
+                 q.F.ap_policy = "lock" && q.F.ap_threads = p.F.ap_threads)
+               pts
+           with
+           | Some l when l.F.ap_mops > 0. ->
+               Printf.sprintf "   (%.2fx vs lock)" (p.F.ap_mops /. l.F.ap_mops)
+           | _ -> ""
+         else ""))
+    pts;
+  print_newline ();
+  pts
+
+(* Alloc-scaling budgets: rows of the form alloc,threadsN,min_speedup,0 in
+   bench/budgets.csv gate the modeled sharded/lock throughput ratio at N
+   logical threads. *)
+let check_alloc_budgets (pts : F.alloc_point list) budget_file =
+  let budgets =
+    let ic = open_in budget_file in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      | ln -> (
+          match String.split_on_char ',' (String.trim ln) with
+          | [ "alloc"; thr; min_speedup; _ ]
+            when String.length thr > 7 && String.sub thr 0 7 = "threads" -> (
+              match
+                ( int_of_string_opt (String.sub thr 7 (String.length thr - 7)),
+                  float_of_string_opt min_speedup )
+              with
+              | Some t, Some m -> go ((t, m) :: acc)
+              | _ -> go acc)
+          | _ -> go acc)
+    in
+    go []
+  in
+  let at policy threads =
+    List.find_opt
+      (fun p -> p.F.ap_policy = policy && p.F.ap_threads = threads)
+      pts
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (threads, min_speedup) ->
+      match (at "lock" threads, at "sharded" threads) with
+      | Some l, Some s when l.F.ap_mops > 0. ->
+          let speedup = s.F.ap_mops /. l.F.ap_mops in
+          if speedup < min_speedup then begin
+            incr failures;
+            Printf.eprintf
+              "BUDGET EXCEEDED alloc threads=%d sharded/lock modeled speedup \
+               %.2fx < %.2fx\n"
+              threads speedup min_speedup
+          end
+          else
+            Printf.printf
+              "budget ok       alloc threads=%d sharded/lock modeled speedup \
+               %.2fx >= %.2fx\n"
+              threads speedup min_speedup
+      | _ -> ())
+    budgets;
+  !failures = 0
+
 (* Recovery-speedup budgets: rows of the form recovery,domainsN,min_speedup,0
    in bench/budgets.csv gate the modeled speedup at N workers against the
    sequential path, at each shape's largest live point. *)
@@ -794,6 +882,18 @@ let main full smoke panels csv no_micro no_ablation seconds budget =
       close_out oc;
       Printf.printf "recovery rows written to %s\n%!" rfile)
     csv;
+  let alloc_pts = run_alloc () in
+  Option.iter
+    (fun file ->
+      let afile = Filename.remove_extension file ^ "_alloc.csv" in
+      let oc = open_out afile in
+      output_string oc (F.alloc_csv_header ^ "\n");
+      List.iter
+        (fun p -> output_string oc (F.alloc_point_to_csv p ^ "\n"))
+        alloc_pts;
+      close_out oc;
+      Printf.printf "alloc rows written to %s\n%!" afile)
+    csv;
   if not no_ablation then begin
     run_ablations ();
     run_extensions ()
@@ -807,8 +907,13 @@ let main full smoke panels csv no_micro no_ablation seconds budget =
     | None -> true
     | Some file -> check_recovery_budgets recovery_pts file
   in
+  let alloc_ok =
+    match budget with
+    | None -> true
+    | Some file -> check_alloc_budgets alloc_pts file
+  in
   print_endline "done.";
-  if not (budgets_ok && recovery_ok) then exit 1
+  if not (budgets_ok && recovery_ok && alloc_ok) then exit 1
 
 open Cmdliner
 

@@ -71,7 +71,15 @@ let dwcas_v (a : 'a cell Atomic.t) ~(expected : 'a cell) ~(desired : 'a cell) =
 let make ?(placement = Dram) ?(persist = true) region v =
   let c = { v; seq = 0 } in
   let uid = Atomic.fetch_and_add next_uid 1 in
-  let repp = Slot.make ~persist ~pair:uid ~seq_of:(fun c -> c.seq) region c in
+  (* allocation-time copy to NVMM + clwb (paper §4.3.2): billed by the
+     substrate via [charge_copy] so elision accounting and the sanitizer's
+     event stream see the same make the cost belongs to; the ordering
+     fence is folded into the next protocol fence *)
+  let repp =
+    Slot.make ~persist ~charge_copy:persist ~pair:uid
+      ~seq_of:(fun c -> c.seq)
+      region c
+  in
   let t =
     {
       uid;
@@ -82,13 +90,6 @@ let make ?(placement = Dram) ?(persist = true) region v =
       region;
     }
   in
-  if persist then begin
-    (* allocation-time copy to NVMM + clwb (paper §4.3.2): charged here,
-       the ordering fence is folded into the next protocol fence *)
-    let s = Stats.get () in
-    s.Stats.nvm_write <- s.Stats.nvm_write + 1;
-    s.Stats.flush <- s.Stats.flush + 1
-  end;
   Region.register_volatile region (fun () -> Atomic.set t.valid false);
   t
 

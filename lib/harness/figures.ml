@@ -460,3 +460,126 @@ let recovery_point_to_csv p =
   Printf.sprintf "%s,%d,%d,%d,%.3f,%.3f,%d,%d,%d" p.rp_shape p.rp_live
     p.rp_garbage p.rp_domains p.rp_wall_ms p.rp_model_ms p.rp_marked
     p.rp_swept p.rp_steals
+
+(* -- alloc panel -------------------------------------------------------------------- *)
+
+(** Allocator throughput: the sharded arenas against the old global-lock
+    allocator on an alloc/free-heavy workload (no data-structure traffic),
+    driven by contended logical threads under the deterministic scheduler.
+    Each fiber allocates into its own pool and frees from its neighbour's,
+    so the sharded remote-free path genuinely fires.
+
+    [ap_mops] is modeled, not wall clock: the charged NVMM events of the
+    run (header writes, flushes, fences — exact and deterministic) are
+    priced at the configured latencies and split Amdahl-style.  Under
+    {!Mirror_nvmheap.Heap.Global_lock} every persist happens while holding
+    the one allocator lock, so the whole priced cost is serial; under
+    {!Mirror_nvmheap.Heap.Sharded} no persist happens under any shared
+    lock, so it divides across threads.  Volatile bookkeeping is priced at
+    [base_op_ns] per operation and always divides.  The speedup budget in
+    bench/budgets.csv gates the sharded/lock ratio of this metric. *)
+type alloc_point = {
+  ap_policy : string;  (** "sharded" or "lock" *)
+  ap_threads : int;
+  ap_ops : int;  (** alloc + free operations, summed over seeds *)
+  ap_mops : float;  (** modeled throughput (see above) *)
+  ap_wall_ms : float;  (** measured wall clock of the schedsim runs *)
+  ap_carves : int;  (** chunks carved off the global bump pointer *)
+  ap_remote_frees : int;  (** frees routed to another thread's arena *)
+  ap_drains : int;  (** non-empty remote-free-list drains *)
+  ap_flushes : float;  (** charged flushes per op *)
+  ap_fences : float;  (** charged fences per op *)
+}
+
+let alloc_policy_name = function
+  | Mirror_nvmheap.Heap.Sharded -> "sharded"
+  | Mirror_nvmheap.Heap.Global_lock -> "lock"
+
+let run_alloc_panel ?(threads_points = [ 1; 2; 4 ]) ?(ops_per_task = 400)
+    ?(seeds = 4) ?(base_op_ns = 20) () : alloc_point list =
+  let module H = Mirror_nvmheap.Heap in
+  let module Rng = Mirror_workload.Rng in
+  let run_one policy threads =
+    let acc = Mirror_nvm.Stats.zero () in
+    let ops = ref 0 and persist_ns = ref 0. and wall = ref 0. in
+    for seed = 1 to seeds do
+      let region = Mirror_nvm.Region.create ~track_slots:false () in
+      let heap =
+        H.create ~words:((threads * ops_per_task * 12) + 1024) ~policy region
+      in
+      (* per-fiber pools of live payloads; fiber i frees from fiber i+1's
+         pool, so under Sharded every free is a cross-arena remote free *)
+      let pools = Array.init threads (fun _ -> ref []) in
+      let tasks =
+        List.init threads (fun i () ->
+            let rng = Rng.split ~seed i in
+            let mine = pools.(i) and theirs = pools.((i + 1) mod threads) in
+            for _ = 1 to ops_per_task do
+              match !theirs with
+              | p :: rest when Rng.int rng 10 < 4 ->
+                  theirs := rest;
+                  H.free heap p
+              | _ ->
+                  (* bind before the push: alloc yields, and the neighbour
+                     pops from [mine] concurrently *)
+                  let p = H.alloc heap (1 + Rng.int rng 8) in
+                  mine := p :: !mine
+            done)
+      in
+      Mirror_nvm.Stats.reset_all ();
+      let t0 = Unix.gettimeofday () in
+      let o = Mirror_schedsim.Sched.run ~seed tasks in
+      wall := !wall +. ((Unix.gettimeofday () -. t0) *. 1e3);
+      if not o.Mirror_schedsim.Sched.completed then
+        failwith "run_alloc_panel: schedsim run did not complete";
+      let st = Mirror_nvm.Stats.total () in
+      Mirror_nvm.Stats.add ~into:acc st;
+      ops := !ops + (threads * ops_per_task);
+      let cfg = Mirror_nvm.Latency.get_config () in
+      persist_ns :=
+        !persist_ns
+        +. float_of_int
+             ((st.Mirror_nvm.Stats.flush * cfg.Mirror_nvm.Latency.flush_ns)
+             + (st.Mirror_nvm.Stats.fence * cfg.Mirror_nvm.Latency.fence_ns)
+             + (st.Mirror_nvm.Stats.nvm_write + st.Mirror_nvm.Stats.nvm_cas)
+               * cfg.Mirror_nvm.Latency.nvm_write_ns
+             + (st.Mirror_nvm.Stats.nvm_read * cfg.Mirror_nvm.Latency.nvm_read_ns)
+             )
+    done;
+    let fops = float_of_int (max 1 !ops) in
+    let serial, parallel =
+      match policy with
+      | H.Global_lock -> (!persist_ns, 0.)
+      | H.Sharded -> (0., !persist_ns)
+    in
+    let elapsed_ns =
+      serial
+      +. ((parallel +. (float_of_int base_op_ns *. fops))
+         /. float_of_int threads)
+    in
+    {
+      ap_policy = alloc_policy_name policy;
+      ap_threads = threads;
+      ap_ops = !ops;
+      ap_mops = fops /. elapsed_ns *. 1e3;
+      ap_wall_ms = !wall;
+      ap_carves = acc.Mirror_nvm.Stats.alloc_carve;
+      ap_remote_frees = acc.Mirror_nvm.Stats.alloc_remote_free;
+      ap_drains = acc.Mirror_nvm.Stats.alloc_remote_drain;
+      ap_flushes = float_of_int acc.Mirror_nvm.Stats.flush /. fops;
+      ap_fences = float_of_int acc.Mirror_nvm.Stats.fence /. fops;
+    }
+  in
+  List.concat_map
+    (fun threads ->
+      [ run_one Mirror_nvmheap.Heap.Global_lock threads;
+        run_one Mirror_nvmheap.Heap.Sharded threads ])
+    threads_points
+
+let alloc_csv_header =
+  "policy,threads,ops,modeled_mops,wall_ms,carves,remote_frees,drains,flushes_per_op,fences_per_op"
+
+let alloc_point_to_csv p =
+  Printf.sprintf "%s,%d,%d,%.3f,%.3f,%d,%d,%d,%.4f,%.4f" p.ap_policy
+    p.ap_threads p.ap_ops p.ap_mops p.ap_wall_ms p.ap_carves p.ap_remote_frees
+    p.ap_drains p.ap_flushes p.ap_fences

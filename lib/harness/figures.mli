@@ -122,3 +122,43 @@ val run_recovery_panel :
 
 val recovery_csv_header : string
 val recovery_point_to_csv : recovery_point -> string
+
+(** {1 Alloc panel}
+
+    Allocator throughput on an alloc/free-heavy workload: the sharded
+    per-thread arenas against the old global-lock allocator, under the
+    deterministic scheduler.  [ap_mops] is a deterministic model, not wall
+    clock: the run's charged NVMM persist events are priced at the
+    configured latencies; under [Global_lock] the whole priced cost is
+    serial (every persist happens holding the allocator lock), under
+    [Sharded] it divides across threads.  bench/budgets.csv commits floors
+    on the sharded/lock ratio. *)
+
+type alloc_point = {
+  ap_policy : string;  (** "sharded" or "lock" *)
+  ap_threads : int;
+  ap_ops : int;  (** alloc + free operations, summed over seeds *)
+  ap_mops : float;  (** modeled throughput *)
+  ap_wall_ms : float;  (** measured wall clock of the schedsim runs *)
+  ap_carves : int;  (** chunks carved off the global bump pointer *)
+  ap_remote_frees : int;  (** frees routed to another thread's arena *)
+  ap_drains : int;  (** non-empty remote-free-list drains *)
+  ap_flushes : float;  (** charged flushes per op *)
+  ap_fences : float;  (** charged fences per op *)
+}
+
+val alloc_policy_name : Mirror_nvmheap.Heap.policy -> string
+
+val run_alloc_panel :
+  ?threads_points:int list ->
+  ?ops_per_task:int ->
+  ?seeds:int ->
+  ?base_op_ns:int ->
+  unit ->
+  alloc_point list
+(** Two rows (lock, sharded) per thread count, in [threads_points] order
+    (default 1/2/4 logical threads, 400 ops per fiber, 4 seeds,
+    [base_op_ns] = 20 of volatile bookkeeping per operation). *)
+
+val alloc_csv_header : string
+val alloc_point_to_csv : alloc_point -> string

@@ -58,7 +58,8 @@ let rec persist_monotone t (e : 'a entry) =
       if not (Atomic.compare_and_set t.persisted old (Some e)) then
         persist_monotone t e
 
-let make ?(persist = false) ?(pair = -1) ?seq_of region v =
+let make ?(persist = false) ?(charge_copy = false) ?(pair = -1) ?seq_of region
+    v =
   let e = { v; ver = 0 } in
   let t =
     {
@@ -76,6 +77,20 @@ let make ?(persist = false) ?(pair = -1) ?seq_of region v =
       match Atomic.get t.persisted with
       | Some p -> Atomic.set t.current p
       | None -> Atomic.set t.lost true);
+  if charge_copy && persist then begin
+    (* allocation-time copy to NVMM + clwb: the caller initialised this
+       line durably, so bill the write and write-back here in the
+       substrate (the ordering fence folds into the caller's next fence).
+       No persist/access event is emitted beyond [A_make]: the initial
+       value is durable from birth (ver 0 persisted above), so there is no
+       crash outcome to enumerate and nothing for the sanitizer to see
+       beyond the make itself. *)
+    let s = Stats.get () in
+    s.Stats.nvm_write <- s.Stats.nvm_write + 1;
+    s.Stats.flush <- s.Stats.flush + 1;
+    Latency.nvm_write ();
+    Latency.flush ()
+  end;
   if !Hooks.access_on then announce t (Hooks.A_make persist) ~seq:(entry_seq t e);
   t
 

@@ -11,9 +11,20 @@
 type 'a t
 
 val make :
-  ?persist:bool -> ?pair:int -> ?seq_of:('a -> int) -> Region.t -> 'a -> 'a t
+  ?persist:bool ->
+  ?charge_copy:bool ->
+  ?pair:int ->
+  ?seq_of:('a -> int) ->
+  Region.t ->
+  'a ->
+  'a t
 (** Fresh slot holding [v].  [persist] (default [false]) marks the initial
-    value as already durable — allocation-time persistence.  [pair]
+    value as already durable — allocation-time persistence.  [charge_copy]
+    (default [false]; only meaningful with [persist]) additionally bills
+    the allocation-time copy to NVMM as one write + one flush in the
+    substrate's {!Stats}/{!Latency} accounting — callers that model "the
+    allocator wrote and wrote back this line before handing it out" use
+    this instead of mutating {!Stats} behind the substrate's back.  [pair]
     (default [-1]) records the uid of the Mirror variable this slot is the
     persistent replica of, for access-event attribution.  [seq_of] extracts
     the value-sequence number announced on access events (Mirror passes the

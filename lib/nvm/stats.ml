@@ -26,6 +26,10 @@ type t = {
   mutable cas_retry : int;  (** protocol-level retries *)
   mutable alloc : int;
   mutable reclaim : int;  (** nodes handed back by the EBR *)
+  (* sharded-allocator counters, maintained by [Heap] *)
+  mutable alloc_carve : int;  (** chunks carved off the global bump pointer *)
+  mutable alloc_remote_free : int;  (** frees pushed to another arena *)
+  mutable alloc_remote_drain : int;  (** non-empty remote-list drains *)
   (* recovery-time counters, maintained by [Heap.recover] and the tracing
      drivers: how much work recovery did and how it parallelised *)
   mutable rec_marked : int;  (** objects traced by the recovery mark phase *)
@@ -51,6 +55,9 @@ let zero () =
     cas_retry = 0;
     alloc = 0;
     reclaim = 0;
+    alloc_carve = 0;
+    alloc_remote_free = 0;
+    alloc_remote_drain = 0;
     rec_marked = 0;
     rec_swept = 0;
     rec_steals = 0;
@@ -73,6 +80,9 @@ let add ~into:a b =
   a.cas_retry <- a.cas_retry + b.cas_retry;
   a.alloc <- a.alloc + b.alloc;
   a.reclaim <- a.reclaim + b.reclaim;
+  a.alloc_carve <- a.alloc_carve + b.alloc_carve;
+  a.alloc_remote_free <- a.alloc_remote_free + b.alloc_remote_free;
+  a.alloc_remote_drain <- a.alloc_remote_drain + b.alloc_remote_drain;
   a.rec_marked <- a.rec_marked + b.rec_marked;
   a.rec_swept <- a.rec_swept + b.rec_swept;
   a.rec_steals <- a.rec_steals + b.rec_steals;
@@ -94,6 +104,9 @@ let clear t =
   t.cas_retry <- 0;
   t.alloc <- 0;
   t.reclaim <- 0;
+  t.alloc_carve <- 0;
+  t.alloc_remote_free <- 0;
+  t.alloc_remote_drain <- 0;
   t.rec_marked <- 0;
   t.rec_swept <- 0;
   t.rec_steals <- 0;
@@ -132,9 +145,10 @@ let reset_all () =
 let pp ppf t =
   Format.fprintf ppf
     "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d) flush=%d fence=%d \
-     elided(fl=%d fe=%d) help=%d retry=%d alloc=%d reclaim=%d rec(marked=%d \
-     swept=%d steals=%d mark_ns=%d sweep_ns=%d)"
+     elided(fl=%d fe=%d) help=%d retry=%d alloc=%d reclaim=%d arena(carve=%d \
+     rfree=%d drain=%d) rec(marked=%d swept=%d steals=%d mark_ns=%d \
+     sweep_ns=%d)"
     t.dram_read t.dram_write t.dram_cas t.nvm_read t.nvm_write t.nvm_cas
     t.flush t.fence t.flush_elided t.fence_elided t.help t.cas_retry t.alloc
-    t.reclaim t.rec_marked t.rec_swept t.rec_steals t.rec_mark_ns
-    t.rec_sweep_ns
+    t.reclaim t.alloc_carve t.alloc_remote_free t.alloc_remote_drain
+    t.rec_marked t.rec_swept t.rec_steals t.rec_mark_ns t.rec_sweep_ns

@@ -22,6 +22,9 @@ type t = {
   mutable cas_retry : int;
   mutable alloc : int;
   mutable reclaim : int;
+  mutable alloc_carve : int;  (** chunks carved off the global bump pointer *)
+  mutable alloc_remote_free : int;  (** frees routed to another arena *)
+  mutable alloc_remote_drain : int;  (** non-empty remote-free-list drains *)
   mutable rec_marked : int;
   mutable rec_swept : int;
   mutable rec_steals : int;

@@ -2,11 +2,18 @@
 
     Memory is a flat array of NVMM words; pointers are offsets (0 = null),
     so the mapping base address is irrelevant ({!remap}).  Allocation
-    metadata (bump pointer, size-class free lists) is volatile-only and
-    reconstructed after a crash by an offline mark–sweep from the
+    metadata (bump pointer, arenas, size-class free lists) is volatile-only
+    and reconstructed after a crash by an offline mark–sweep from the
     persistent roots.  Object headers (one word, the size class) are
     persisted at allocation so the sweep can parse the heap linearly; slab
-    classes are never split, so headers are stable across reuse. *)
+    classes are never split, so headers are stable across reuse.
+
+    The allocator is sharded (ssmem-style): each logical thread
+    ({!Mirror_nvm.Hooks.tid}) owns an arena that carves multi-block chunks
+    off the global bump pointer with one CAS, serves allocations from
+    arena-local free lists, and receives cross-thread frees on a lock-free
+    remote-free list drained lazily.  No allocation-path persist happens
+    under a lock.  See docs/MODEL.md, "Allocator sharding". *)
 
 type t
 
@@ -15,6 +22,9 @@ type recovery_stats = {
   r_marked : int;  (** nodes traced (parallel duplicates included) *)
   r_live : int;  (** marked blocks found live by the sweep *)
   r_swept : int;  (** dead blocks returned to the free lists *)
+  r_residue : int;
+      (** zero-tag blocks of crash-torn chunks reclaimed by the sweep
+          (a subset of [r_swept]) *)
   r_steals : int;  (** successful work-steals between mark workers *)
   r_mark_ns : int;  (** wall-clock ns of the mark phase *)
   r_sweep_ns : int;  (** wall-clock ns of the sweep + validation phase *)
@@ -22,13 +32,22 @@ type recovery_stats = {
   r_worker_parsed : int array;  (** per-worker headers parsed *)
 }
 
+type policy =
+  | Sharded  (** per-thread arenas, lock-free carving (the default) *)
+  | Global_lock
+      (** the pre-sharding allocator: one global spinlock held across
+          every alloc/free, including the header persist — kept as the
+          benchmark baseline for the alloc panel *)
+
 exception Out_of_memory
 
 exception Recovery_corrupt of { offset : int; tag : int }
 (** The persistent image failed validation during {!recover}: a header tag
-    outside the size-class range, a block overrunning the heap, a torn
-    hole ([tag = 0] with allocated blocks after it), residue beyond the
-    heap end, or a traced pointer outside the heap ([tag = -1]). *)
+    outside the size-class range, a chunk overrunning the heap, a torn
+    hole ([tag = 0] with allocated blocks after it in the same chunk),
+    residue beyond the heap end, or a traced pointer outside the heap
+    ([tag = -1]).  A zero-tag {e suffix} of a chunk is not corruption: it
+    is crash residue, reclaimed onto the free lists. *)
 
 val num_segments : int
 (** Fixed sweep-segment count (the persistent seam table's size). *)
@@ -36,7 +55,10 @@ val num_segments : int
 val num_roots : int
 (** Number of persistent root slots per heap. *)
 
-val create : ?words:int -> Mirror_nvm.Region.t -> t
+val chunk_blocks : int array
+(** Per size class: how many blocks a carve takes off the bump pointer. *)
+
+val create : ?words:int -> ?policy:policy -> Mirror_nvm.Region.t -> t
 
 (** {1 Word accesses} (cost-charged through {!Mirror_nvm.Slot}) *)
 
@@ -59,11 +81,17 @@ val root_set : t -> int -> int -> unit
 
 val alloc : t -> int -> int
 (** [alloc t size] returns the payload offset of a block of at least
-    [size] words.  The header is persisted before the block is handed out.
+    [size] words.  The header is persisted before the block is handed
+    out.  Under {!Sharded} the fast path takes no global lock and never
+    persists while holding shared state.
     @raise Out_of_memory when the bump region is exhausted. *)
 
 val free : t -> int -> unit
-(** Return a block to its size-class free list (volatile metadata). *)
+(** Return a block to a free list (volatile metadata): arena-local for
+    the owning thread, onto the owner's lock-free remote-free list for a
+    cross-thread free.
+    @raise Invalid_argument deterministically on a double free or an
+    offset that is not an allocated payload. *)
 
 (** {1 Recovery} *)
 
@@ -74,9 +102,12 @@ val recover :
   trace:(int -> int list) ->
   unit
 (** Offline mark–sweep: [trace payload] returns the payload offsets the
-    object points to (0s ignored).  Rebuilds bump pointer, free lists and
-    the live-object count; validates the persistent image
-    (@raise Recovery_corrupt on failure).
+    object points to (0s ignored).  Rebuilds the bump pointer, discards
+    all arenas (swept blocks wait in a shared pool until re-adopted), and
+    validates the persistent image (@raise Recovery_corrupt on failure).
+    Crash-torn chunks are reclaimed, not rejected: a zero-tag suffix of a
+    chunk is re-stamped and swept ([r_residue]); a chunk whose carve
+    never became durable is a reusable zero extent.
 
     [domains] (default 1) workers share the mark via work-stealing
     gray-stacks and parse sweep segments in parallel from their persistent
@@ -92,7 +123,8 @@ val recover :
 
 val remap : t -> t
 (** The address-translation argument, executable: copy the persisted
-    content to a fresh mapping; offsets keep every pointer valid. *)
+    content to a fresh mapping; offsets keep every pointer valid.  The
+    volatile allocator state is re-pooled (arenas re-form on first use). *)
 
 (** {1 Statistics} *)
 
@@ -101,8 +133,11 @@ val words_used : t -> int
 val free_list_sizes : t -> int list
 
 val free_list_dump : t -> int list array
-(** A copy of the per-class free lists (payload offsets) — equivalence
-    tests compare these across sequential and parallel recovery. *)
+(** The merged free view per class (shared pool + arena-local + remote
+    lists), in ascending payload-offset order — equivalence tests compare
+    these across sequential and parallel recovery (right after a recovery
+    the arenas are empty, so the dump is exactly the deterministic shared
+    pool). *)
 
 val last_recovery : t -> recovery_stats option
 (** Counters from the most recent {!recover} on this heap handle. *)

@@ -15,7 +15,10 @@
 type t = {
   heap : Heap.t;
   root : int;  (** persistent root index holding the head node offset *)
-  ebr : Mirror_core.Ebr.t;
+  mutable ebr : Mirror_core.Ebr.t;
+      (** replaced wholesale by {!recover}: pending retirements refer to
+          blocks the offline sweep already reclaimed, so replaying them
+          after a crash would double-free *)
 }
 
 let enc off mark = (off lsl 1) lor (if mark then 1 else 0)
@@ -167,4 +170,5 @@ let trace heap payload = [ dec_off (Heap.peek heap (payload + 1)) ]
     volatile metadata and reclaims unreachable blocks (§4.3.3).
     [domains]/[runner] are passed through to {!Heap.recover}. *)
 let recover ?domains ?runner t =
-  Heap.recover ?domains ?runner t.heap ~trace:(trace t.heap)
+  Heap.recover ?domains ?runner t.heap ~trace:(trace t.heap);
+  t.ebr <- Mirror_core.Ebr.create ()

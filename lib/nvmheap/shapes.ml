@@ -30,11 +30,12 @@ type built = {
 let node_words = 4
 
 (** Words a heap must have for [build ~live ~garbage_ratio]: each node is a
-    class-4 block (header + 4 words), plus the reserved word 0 and slack
-    for rounding. *)
+    class-4 block (header + 4 words), plus one chunk-header word per carve
+    (over-estimated at one per block for slack), the reserved word 0 and
+    rounding headroom. *)
 let words_needed ~live ~garbage_ratio =
   let total = live + int_of_float (float_of_int live *. garbage_ratio) in
-  1 + ((total + 2) * (node_words + 1)) + 64
+  1 + ((total + 2) * (node_words + 2)) + 128
 
 (* splitmix64-style mixer over OCaml's native int: deterministic,
    dependency-free (the harness Rng lives above this library). *)

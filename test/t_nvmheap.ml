@@ -64,7 +64,154 @@ let test_unflushed_word_lost () =
   Mirror_nvm.Region.mark_recovered region;
   check (Heap.get h a = 1) "unflushed heap word reverts"
 
-(* -- intset --------------------------------------------------------------- *)
+let test_free_validation () =
+  let _, h = mk () in
+  let a = Heap.alloc h 2 in
+  let b = Heap.alloc h 4 in
+  Heap.free h a;
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  check (raises (fun () -> Heap.free h a)) "double free raises";
+  check (raises (fun () -> Heap.free h (a + 1))) "interior offset raises";
+  check (raises (fun () -> Heap.free h (b - 1))) "header offset raises";
+  check (raises (fun () -> Heap.free h 0)) "null raises";
+  check (raises (fun () -> Heap.free h (1 lsl 30))) "out-of-range raises";
+  check (Heap.live_objects h = 1) "failed frees left the live count alone";
+  (* the rejected frees corrupted nothing: the freed block comes back
+     exactly once *)
+  let c = Heap.alloc h 2 in
+  check (c = a) "freed block reused";
+  let d = Heap.alloc h 2 in
+  check (d <> a) "and only once"
+
+let test_global_lock_policy () =
+  let region = Support.fresh_region () in
+  let h = Heap.create ~words:8192 ~policy:Heap.Global_lock region in
+  let a = Heap.alloc h 2 in
+  let b = Heap.alloc h 2 in
+  check (a <> b) "global-lock baseline: distinct blocks";
+  Heap.free h a;
+  check (Heap.alloc h 2 = a) "global-lock baseline: reuses the free list";
+  check
+    (try
+       Heap.free h (a + 1);
+       false
+     with Invalid_argument _ -> true)
+    "global-lock baseline: validates frees too"
+
+(* -- sharded allocator under the deterministic scheduler ------------------- *)
+
+(* N fibers alloc and free across threads (each fiber frees from its
+   neighbour's pool, so most frees are remote): live-object conservation,
+   no offset handed out twice, and the remote-free protocol actually
+   exercised. *)
+let test_sharded_concurrency () =
+  Mirror_nvm.Stats.reset_all ();
+  List.iter
+    (fun seed ->
+      let region = Support.fresh_region () in
+      let h = Heap.create ~words:16384 region in
+      let threads = 4 in
+      let pools = Array.make threads [] in
+      let allocs = Array.make threads 0 in
+      let frees = Array.make threads 0 in
+      let live = Hashtbl.create 256 in
+      let task i () =
+        let rng = Mirror_workload.Rng.create ((seed * 131) + i) in
+        for _ = 1 to 120 do
+          if Mirror_workload.Rng.int rng 10 < 6 then begin
+            let size = 1 + Mirror_workload.Rng.int rng 8 in
+            let p = Heap.alloc h size in
+            check (not (Hashtbl.mem live p)) "offset never handed out twice";
+            Hashtbl.replace live p ();
+            pools.(i) <- p :: pools.(i);
+            allocs.(i) <- allocs.(i) + 1
+          end
+          else begin
+            (* free from the next fiber's pool: a cross-thread (remote)
+               free whenever that fiber owns the block *)
+            let v = (i + 1) mod threads in
+            match pools.(v) with
+            | [] -> ()
+            | p :: rest ->
+                pools.(v) <- rest;
+                Hashtbl.remove live p;
+                Heap.free h p;
+                frees.(i) <- frees.(i) + 1
+          end
+        done
+      in
+      let (_ : Mirror_schedsim.Sched.outcome) =
+        Mirror_schedsim.Sched.run ~seed (List.init threads task)
+      in
+      let a = Array.fold_left ( + ) 0 allocs in
+      let f = Array.fold_left ( + ) 0 frees in
+      check (a > 0 && f > 0) "workload allocated and freed";
+      check (Heap.live_objects h = a - f) "live-object conservation";
+      check (Hashtbl.length live = a - f) "tracked live set agrees")
+    [ 1; 2; 3; 4; 5 ];
+  let s = Mirror_nvm.Stats.total () in
+  check (s.Mirror_nvm.Stats.alloc_carve > 0) "chunks were carved";
+  check (s.Mirror_nvm.Stats.alloc_remote_free > 0) "remote frees exercised";
+  check (s.Mirror_nvm.Stats.alloc_remote_drain > 0) "remote drains exercised"
+
+(* Concurrent build, crash (possibly mid-allocation), then recovery: the
+   sequential and parallel sweeps must rebuild identical allocator state,
+   and crash-torn chunk residue must be reclaimed, never misreported as
+   corruption. *)
+let test_concurrent_build_recovery_equivalence () =
+  List.iter
+    (fun (seed, crash_step) ->
+      let region = Support.fresh_region () in
+      let h = Heap.create ~words:16384 region in
+      let threads = 3 in
+      let task i () =
+        let rng = Mirror_workload.Rng.create ((seed * 977) + i) in
+        let prev = ref 0 in
+        for _ = 1 to 40 do
+          let p = Heap.alloc h 2 in
+          Heap.set h p (Mirror_workload.Rng.int rng 1000);
+          Heap.set h (p + 1) !prev;
+          Heap.flush h p;
+          Heap.flush h (p + 1);
+          Heap.fence h;
+          Heap.root_set h i p;
+          prev := p;
+          if Mirror_workload.Rng.int rng 10 < 3 then
+            (* unreachable garbage for the sweep to find *)
+            ignore (Heap.alloc h 2 : int)
+        done
+      in
+      let (_ : Mirror_schedsim.Sched.outcome) =
+        Mirror_schedsim.Sched.run ~seed ~max_steps:crash_step
+          (List.init threads task)
+      in
+      Mirror_nvm.Region.crash region;
+      let trace p = [ Heap.peek h (p + 1) ] in
+      (* a chunk that died with its owner leaves zero-tag residue: this
+         must recover, not raise Recovery_corrupt *)
+      Heap.recover ~domains:1 h ~trace;
+      let state () =
+        (Heap.free_list_dump h, Heap.live_objects h, Heap.words_used h)
+      in
+      let reference = state () in
+      List.iter
+        (fun domains ->
+          Heap.recover ~domains
+            ~runner:(fun tasks ->
+              ignore (Mirror_schedsim.Sched.run ~seed tasks))
+            h ~trace;
+          check
+            (state () = reference)
+            (Printf.sprintf
+               "seed=%d cut=%d: %d-fiber recovery = sequential on a \
+                concurrently built heap"
+               seed crash_step domains))
+        [ 2; 4 ];
+      Mirror_nvm.Region.mark_recovered region;
+      (* heap usable after recovery *)
+      let p = Heap.alloc h 2 in
+      Heap.free h p)
+    [ (1, 150); (2, 400); (3, 900); (4, 100_000); (5, 2500) ]
 
 let test_intset_semantics () =
   let _, h = mk () in
@@ -188,6 +335,13 @@ let suite =
         Alcotest.test_case "out of memory" `Quick test_oom;
         Alcotest.test_case "roots persist" `Quick test_roots_persist;
         Alcotest.test_case "unflushed word lost" `Quick test_unflushed_word_lost;
+        Alcotest.test_case "free validation" `Quick test_free_validation;
+        Alcotest.test_case "global-lock baseline policy" `Quick
+          test_global_lock_policy;
+        Alcotest.test_case "sharded concurrency" `Quick
+          test_sharded_concurrency;
+        Alcotest.test_case "concurrent build + recovery equivalence" `Quick
+          test_concurrent_build_recovery_equivalence;
         Alcotest.test_case "intset semantics" `Quick test_intset_semantics;
         Alcotest.test_case "intset model" `Quick test_intset_model;
         Alcotest.test_case "crash rebuilds metadata" `Quick
