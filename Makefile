@@ -37,7 +37,11 @@ bench:
 	dune exec bench/main.exe
 
 # CI-speed pass that also enforces the committed flush/fence ceilings:
-# exits non-zero if any Mirror algorithm exceeds bench/budgets.csv.
+# exits non-zero if any Mirror algorithm exceeds bench/budgets.csv — the
+# strict per-structure ceilings, the recovery/alloc speedup floors, and the
+# buffered-panel fence ceilings + reduction floors alike.  Panel CSVs
+# (bench_smoke_elision/recovery/alloc/buffered.csv) land next to the main
+# CSV for CI to archive.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --no-micro --no-ablation \
 	  --csv bench_smoke.csv --budget bench/budgets.csv
@@ -60,6 +64,24 @@ mcheck-smoke:
 	  --expect-violation
 	dune exec bin/mcheck.exe -- --structure skiplist --prim mirror-nvmm \
 	  --elide --seeds 3 --threads 4 --ops 10
+	@# Buffered durable linearizability: every crash point (mid-advance
+	@# Epoch_bump windows included) of list and queue under the buffered
+	@# discipline must validate against the durable cut, with a psan
+	@# buffered-rule pass on each reference run ...
+	dune exec bin/mcheck.exe -- --structure list --discipline buffered \
+	  --epoch-len 8 --psan --seeds 5 --threads 4 --ops 10 --budget 200
+	dune exec bin/mcheck.exe -- --structure queue --discipline buffered \
+	  --epoch-len 8 --seeds 5 --threads 4 --ops 10 --budget 200
+	@# ... and the negative control: the strict validator over the same
+	@# buffered execution must flag the dropped deferred tail.  The replay
+	@# token pins one counterexample (seed 1, crash point 2, pick-0
+	@# schedule: a completed update lost with the open epoch), and the
+	@# buffered validator must stay silent on that exact crash point.
+	dune exec bin/mcheck.exe -- --structure list --discipline buffered \
+	  --epoch-len 8 --strict-validate --threads 4 --ops 10 \
+	  --replay "1:2:" --expect-violation
+	dune exec bin/mcheck.exe -- --structure list --discipline buffered \
+	  --epoch-len 8 --threads 4 --ops 10 --replay "1:2:"
 	@# Crash-in-recovery: kill recovery itself at every (subsampled)
 	@# recovery point of every (subsampled) crash point, restart it, and
 	@# require durable linearizability of the final state; the negative

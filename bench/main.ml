@@ -411,6 +411,12 @@ let run_extensions () =
               float_of_int st.Mirror_nvm.Stats.flush_elided /. fops;
             fences_elided =
               float_of_int st.Mirror_nvm.Stats.fence_elided /. fops;
+            epoch_advances =
+              float_of_int st.Mirror_nvm.Stats.epoch_advance /. fops;
+            fences_batched =
+              float_of_int st.Mirror_nvm.Stats.fence_batched /. fops;
+            writes_deferred =
+              float_of_int st.Mirror_nvm.Stats.writes_deferred /. fops;
           }
         in
         ignore dt;
@@ -480,6 +486,10 @@ let run_extensions () =
       fences = float_of_int st.Mirror_nvm.Stats.fence /. fops;
       flushes_elided = float_of_int st.Mirror_nvm.Stats.flush_elided /. fops;
       fences_elided = float_of_int st.Mirror_nvm.Stats.fence_elided /. fops;
+      epoch_advances = float_of_int st.Mirror_nvm.Stats.epoch_advance /. fops;
+      fences_batched = float_of_int st.Mirror_nvm.Stats.fence_batched /. fops;
+      writes_deferred =
+        float_of_int st.Mirror_nvm.Stats.writes_deferred /. fops;
     }
   in
   Printf.printf "%-8s  hand-made-durable=%6.2f (Friedman et al. PPoPP'18)\n"
@@ -518,6 +528,100 @@ let run_elision () =
     F.elision_structures;
   print_newline ();
   pts
+
+(* -- buffered panel ---------------------------------------------------------------- *)
+
+(* Epoch-batched persistence vs strict Mirror, under the deterministic
+   scheduler: the same contended workload per (structure, threads) cell,
+   run strict and then buffered at several epoch lengths.  The open epoch
+   is drained before counters are read, so every deferred persist is
+   charged to its run.  See Figures.run_buffered_panel. *)
+let run_buffered () =
+  print_endline
+    "=== buffered panel: epoch-batched persistence vs strict Mirror \
+     (schedsim, contended)";
+  Printf.printf "%-8s %7s %9s %7s | %9s %9s %9s | %8s %8s %9s\n" "structure"
+    "threads" "epoch" "ops" "strict-fe" "buf-fe" "reduce" "adv/op" "batch-fe"
+    "defer/op";
+  let pts = F.run_buffered_panel () in
+  List.iter
+    (fun p ->
+      Printf.printf
+        "%-8s %7d %9d %7d | %9.4f %9.4f %8.1fx | %8.4f %8.4f %9.3f\n%!"
+        p.F.b_ds p.F.b_threads p.F.b_epoch_len p.F.b_ops p.F.b_strict_fences
+        p.F.b_fences p.F.b_fence_reduction p.F.b_epoch_advances
+        p.F.b_fences_batched p.F.b_writes_deferred)
+    pts;
+  print_newline ();
+  pts
+
+(* Buffered-persistence budgets: rows of the form
+   buffered,epochN,ds,threadsT,max_fences_per_op,min_fence_reduction in
+   bench/budgets.csv gate the buffered panel at epoch length N: the charged
+   fences per op must stay under the ceiling AND the strict/buffered fence
+   ratio must clear the floor.  This is the headline claim of the buffered
+   discipline (>= 5x fewer fences at epoch length 256), enforced on every
+   `make bench-smoke`. *)
+let check_buffered_budgets (pts : F.buffered_point list) budget_file =
+  let prefixed prefix s =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      int_of_string_opt (String.sub s n (String.length s - n))
+    else None
+  in
+  let budgets =
+    let ic = open_in budget_file in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      | ln -> (
+          match String.split_on_char ',' (String.trim ln) with
+          | [ "buffered"; ep; ds; thr; max_fe; min_red ] -> (
+              match
+                ( prefixed "epoch" ep,
+                  prefixed "threads" thr,
+                  float_of_string_opt max_fe,
+                  float_of_string_opt min_red )
+              with
+              | Some e, Some t, Some fe, Some red ->
+                  go ((e, ds, t, fe, red) :: acc)
+              | _ -> go acc)
+          | _ -> go acc)
+    in
+    go []
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (epoch_len, ds, threads, max_fe, min_red) ->
+      match
+        List.find_opt
+          (fun p ->
+            p.F.b_ds = ds && p.F.b_threads = threads
+            && p.F.b_epoch_len = epoch_len)
+          pts
+      with
+      | None -> ()
+      | Some p ->
+          let bad_fe = p.F.b_fences > max_fe in
+          let bad_red = p.F.b_fence_reduction < min_red in
+          if bad_fe || bad_red then begin
+            incr failures;
+            Printf.eprintf
+              "BUDGET EXCEEDED buffered %s epoch=%d threads=%d fences/op \
+               %.4f (max %.4f) reduction %.1fx (min %.1fx)\n"
+              ds epoch_len threads p.F.b_fences max_fe p.F.b_fence_reduction
+              min_red
+          end
+          else
+            Printf.printf
+              "budget ok       buffered %s epoch=%d threads=%d fences/op \
+               %.4f <= %.4f  reduction %.1fx >= %.1fx\n"
+              ds epoch_len threads p.F.b_fences max_fe p.F.b_fence_reduction
+              min_red)
+    budgets;
+  !failures = 0
 
 (* -- recovery panel ---------------------------------------------------------------- *)
 
@@ -870,6 +974,18 @@ let main full smoke panels csv no_micro no_ablation seconds budget =
       close_out oc;
       Printf.printf "elision rows written to %s\n%!" efile)
     csv;
+  let buffered_pts = run_buffered () in
+  Option.iter
+    (fun file ->
+      let bfile = Filename.remove_extension file ^ "_buffered.csv" in
+      let oc = open_out bfile in
+      output_string oc (F.buffered_csv_header ^ "\n");
+      List.iter
+        (fun p -> output_string oc (F.buffered_point_to_csv p ^ "\n"))
+        buffered_pts;
+      close_out oc;
+      Printf.printf "buffered rows written to %s\n%!" bfile)
+    csv;
   let recovery_pts = run_recovery smoke in
   Option.iter
     (fun file ->
@@ -912,8 +1028,13 @@ let main full smoke panels csv no_micro no_ablation seconds budget =
     | None -> true
     | Some file -> check_alloc_budgets alloc_pts file
   in
+  let buffered_ok =
+    match budget with
+    | None -> true
+    | Some file -> check_buffered_budgets buffered_pts file
+  in
   print_endline "done.";
-  if not (budgets_ok && recovery_ok && alloc_ok) then exit 1
+  if not (budgets_ok && recovery_ok && alloc_ok && buffered_ok) then exit 1
 
 open Cmdliner
 

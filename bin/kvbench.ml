@@ -5,8 +5,9 @@
      dune exec bin/kvbench.exe -- --engine cmap \
          --benchmarks fillrandom,readrandom,readwrite,deleterandom
 
-   Output format follows db_bench: one line per benchmark with micros/op
-   and ops/sec, plus the per-op NVMM event counts of this repository. *)
+   Output format follows db_bench: one line per benchmark with mean
+   micros/op, p50/p99 per-op latency and ops/sec, plus the per-op NVMM
+   event counts of this repository. *)
 
 open Mirror_dstruct
 module W = Mirror_workload.Workload
@@ -33,17 +34,23 @@ let make_engine name =
   in
   { name; pack }
 
-(* one timed phase: [threads] domains each performing [per_thread] ops *)
+(* one timed phase: [threads] domains each performing [per_thread] ops,
+   with per-op latency sampled per domain (monotonic clock around each op,
+   merged and sorted once at the end for the percentile columns) *)
 let phase ~threads ~per_thread ~(op : Rng.t -> int -> unit) =
   let ready = Atomic.make 0 and go = Atomic.make false in
+  let lat = Array.init threads (fun _ -> Array.make per_thread 0.) in
   let body i () =
     let rng = Rng.split ~seed:4242 i in
+    let mine = lat.(i) in
     ignore (Atomic.fetch_and_add ready 1);
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
     for j = 1 to per_thread do
-      op rng ((i * per_thread) + j)
+      let t0 = Unix.gettimeofday () in
+      op rng ((i * per_thread) + j);
+      mine.(j - 1) <- Unix.gettimeofday () -. t0
     done
   in
   let doms = Array.init threads (fun i -> Domain.spawn (body i)) in
@@ -55,16 +62,24 @@ let phase ~threads ~per_thread ~(op : Rng.t -> int -> unit) =
   Atomic.set go true;
   Array.iter Domain.join doms;
   let dt = Unix.gettimeofday () -. t0 in
-  (dt, threads * per_thread)
+  let all = Array.concat (Array.to_list lat) in
+  Array.sort compare all;
+  (dt, threads * per_thread, all)
 
-let report name dt ops =
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (n * p / 100))
+
+let report name dt ops lat =
   let st = Mirror_nvm.Stats.total () in
   let fops = float_of_int (max 1 ops) in
   Printf.printf
-    "%-14s : %10.3f micros/op; %10.0f ops/sec;  nvmR/op=%.2f nvmW/op=%.2f \
-     fl/op=%.2f fe/op=%.2f\n%!"
+    "%-14s : %10.3f micros/op; p50=%8.3f p99=%8.3f; %10.0f ops/sec;  \
+     nvmR/op=%.2f nvmW/op=%.2f fl/op=%.2f fe/op=%.2f\n%!"
     name
     (dt *. 1e6 /. fops)
+    (percentile lat 50 *. 1e6)
+    (percentile lat 99 *. 1e6)
     (fops /. dt)
     (float_of_int st.Mirror_nvm.Stats.nvm_read /. fops)
     (float_of_int (st.Mirror_nvm.Stats.nvm_write + st.Mirror_nvm.Stats.nvm_cas) /. fops)
@@ -81,39 +96,39 @@ let main engine_name num threads benchmarks latency =
   let per_thread = max 1 (num / threads) in
   let run_one = function
     | "fillseq" ->
-        let dt, ops =
+        let dt, ops, lat =
           phase ~threads ~per_thread ~op:(fun _rng seq ->
               ignore (S.insert t (seq mod num) seq))
         in
-        report "fillseq" dt ops
+        report "fillseq" dt ops lat
     | "fillrandom" ->
-        let dt, ops =
+        let dt, ops, lat =
           phase ~threads ~per_thread ~op:(fun rng seq ->
               ignore (S.insert t (Rng.int rng num) seq))
         in
-        report "fillrandom" dt ops
+        report "fillrandom" dt ops lat
     | "readrandom" ->
-        let dt, ops =
+        let dt, ops, lat =
           phase ~threads ~per_thread ~op:(fun rng _ ->
               ignore (S.contains t (Rng.int rng num)))
         in
-        report "readrandom" dt ops
+        report "readrandom" dt ops lat
     | "readwrite" ->
         (* 80% reads / 20% writes, the 6m workload *)
-        let dt, ops =
+        let dt, ops, lat =
           phase ~threads ~per_thread ~op:(fun rng seq ->
               let k = Rng.int rng num in
               if Rng.int rng 100 < 80 then ignore (S.contains t k)
               else if Rng.bool rng then ignore (S.insert t k seq)
               else ignore (S.remove t k))
         in
-        report "readwrite" dt ops
+        report "readwrite" dt ops lat
     | "deleterandom" ->
-        let dt, ops =
+        let dt, ops, lat =
           phase ~threads ~per_thread ~op:(fun rng _ ->
               ignore (S.remove t (Rng.int rng num)))
         in
-        report "deleterandom" dt ops
+        report "deleterandom" dt ops lat
     | other -> Printf.printf "%-14s : unknown benchmark, skipped\n" other
   in
   List.iter run_one benchmarks;

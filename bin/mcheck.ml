@@ -15,41 +15,47 @@
 
 module M = Mirror_mcheck.Mcheck
 
-let structure_names = List.map Mirror_dstruct.Sets.ds_name Mirror_dstruct.Sets.all_ds
+(* the set structures, plus the queue (its own scenario: set arithmetic
+   over unique values instead of the Wing–Gong set checker) *)
+let structure_names =
+  List.map Mirror_dstruct.Sets.ds_name Mirror_dstruct.Sets.all_ds @ [ "queue" ]
 
 let list_vocab () =
   Format.printf "structures: %s@." (String.concat " " structure_names);
   Format.printf "prims: %s@." (String.concat " " Mirror_prim.Prim.all_names)
 
 let main list_structures structure prim seed seeds budget threads ops range
-    updates elide deep psan expect_violation replay crash_in_recovery
-    rec_budget trust_partial replay_recovery =
+    updates elide epoch_len strict_validate deep psan expect_violation replay
+    crash_in_recovery rec_budget trust_partial replay_recovery =
   if list_structures then begin
     list_vocab ();
     exit 0
   end;
-  (match Mirror_dstruct.Sets.ds_of_name structure with
-  | Some _ -> ()
-  | None ->
-      Format.eprintf "unknown structure %S; valid: %s@." structure
-        (String.concat " " structure_names);
-      exit 2);
+  if not (List.mem structure structure_names) then begin
+    Format.eprintf "unknown structure %S; valid: %s@." structure
+      (String.concat " " structure_names);
+    exit 2
+  end;
   if not (List.mem prim Mirror_prim.Prim.all_names) then begin
     Format.eprintf "unknown prim %S; valid: %s@." prim
       (String.concat " " Mirror_prim.Prim.all_names);
     exit 2
   end;
-  let ds = Option.get (Mirror_dstruct.Sets.ds_of_name structure) in
   let scenario =
-    M.set_scenario ~ds ~prim ~elide ~threads ~ops_per_task:ops ~range ~updates
-      ()
+    match Mirror_dstruct.Sets.ds_of_name structure with
+    | Some ds ->
+        M.set_scenario ~ds ~prim ~elide ~epoch_len ~strict_validate ~threads
+          ~ops_per_task:ops ~range ~updates ()
+    | None ->
+        M.queue_scenario ~prim ~epoch_len ~strict_validate ~threads
+          ~ops_per_task:ops ()
   in
   let found = ref false in
   (* sanitizer pass before any crash enumeration: one crash-free reference
      run per seed, with discipline violations flagged online *)
   if psan && replay = None then
     for s = seed to seed + seeds - 1 do
-      let r = M.psan_pass scenario ~seed:s in
+      let r = M.psan_pass ~buffered:(prim = "buffered") scenario ~seed:s in
       Format.printf "psan %s/%s seed=%d: %a@." structure prim s
         Mirror_psan.Psan.pp_report r;
       if not (Mirror_psan.Psan.clean r) then found := true
@@ -132,14 +138,17 @@ let structure =
     value
     & opt string "list"
     & info [ "structure" ] ~docv:"DS"
-        ~doc:"Data structure: list, hash, bst or skiplist.")
+        ~doc:"Data structure: list, hash, bst, skiplist or queue.")
 
 let prim =
   Arg.(
     value
     & opt string "mirror"
-    & info [ "prim" ] ~docv:"P"
-        ~doc:"Persistence strategy (see mirror_cli list).")
+    & info [ "prim"; "discipline" ] ~docv:"P"
+        ~doc:
+          "Persistence strategy / discipline (see mirror_cli list); \
+           \"buffered\" switches validation to buffered durable \
+           linearizability against the region's durable cut.")
 
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"First seed.")
@@ -178,6 +187,25 @@ let elide =
         ~doc:
           "Enable flush/fence elision, adding elided boundaries (and the \
            write after each) to the crash-point set.")
+
+let epoch_len =
+  Arg.(
+    value & opt int 1
+    & info [ "epoch-len" ] ~docv:"N"
+        ~doc:
+          "Deferred persists per buffered epoch (only meaningful with \
+           --discipline buffered); at the default 1 every deferred persist \
+           advances the epoch synchronously.")
+
+let strict_validate =
+  Arg.(
+    value & flag
+    & info [ "strict-validate" ]
+        ~doc:
+          "Validate a buffered execution with the strict (unbuffered) \
+           durable-linearizability checker: the negative control — with \
+           --epoch-len > 1 it must flag the dropped deferred tail (pair \
+           with --expect-violation).")
 
 let deep =
   Arg.(
@@ -253,8 +281,8 @@ let cmd =
           schedule and check durable linearizability at each.")
     Term.(
       const main $ list_structures $ structure $ prim $ seed $ seeds $ budget
-      $ threads $ ops $ range $ updates $ elide $ deep $ psan
-      $ expect_violation $ replay $ crash_in_recovery $ rec_budget
-      $ trust_partial $ replay_recovery)
+      $ threads $ ops $ range $ updates $ elide $ epoch_len $ strict_validate
+      $ deep $ psan $ expect_violation $ replay $ crash_in_recovery
+      $ rec_budget $ trust_partial $ replay_recovery)
 
 let () = exit (Cmd.eval' cmd)

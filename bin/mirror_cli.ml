@@ -34,15 +34,34 @@ let list_cmd () =
   print_endline
     "algorithms: orig-dram orig-nvmm izraelevitz nvtraverse mirror \
      mirror-nvmm soft link-free cmap";
+  print_endline
+    ("disciplines: " ^ String.concat " " Mirror_prim.Prim.all_names);
   print_endline "(soft/link-free: list+hash only; cmap: hash only)";
   0
 
+(* [--discipline P] names any Prim strategy (the same vocabulary mcheck
+   accepts), overriding the Figures-algo mapping of [--algo]; "buffered"
+   runs under the epoch clock at [--epoch-len]. *)
+let check_discipline p =
+  if not (List.mem p Mirror_prim.Prim.all_names) then begin
+    Format.eprintf "unknown discipline %S; valid: %s@." p
+      (String.concat " " Mirror_prim.Prim.all_names);
+    exit 2
+  end
+
 (* -- run ------------------------------------------------------------------ *)
 
-let run_cmd ds algo threads range updates seconds llc =
-  let ds = ds_of_string ds and algo = algo_of_string algo in
-  let region = Mirror_nvm.Region.create ~track_slots:false () in
-  match F.make_set ~region ds algo with
+let run_cmd ds algo discipline epoch_len threads range updates seconds llc =
+  let ds = ds_of_string ds in
+  let region = Mirror_nvm.Region.create ~track_slots:false ~epoch_len () in
+  let pack =
+    match discipline with
+    | Some p ->
+        check_discipline p;
+        Some (Sets.make ds (Mirror_prim.Prim.by_name region p))
+    | None -> F.make_set ~region ds (algo_of_string algo)
+  in
+  match pack with
   | None ->
       prerr_endline "this (structure, algorithm) combination does not exist";
       1
@@ -57,20 +76,22 @@ let run_cmd ds algo threads range updates seconds llc =
 
 (* -- torture --------------------------------------------------------------- *)
 
-let torture_cmd ds seeds updates =
+let torture_cmd ds discipline epoch_len seeds updates =
+  check_discipline discipline;
   let ds = ds_of_string ds in
+  let buffered = discipline = "buffered" in
   let violations = ref 0 in
   for seed = 1 to seeds do
     List.iter
       (fun crash_step ->
-        let region = Mirror_nvm.Region.create ~seed () in
-        let pack = Sets.make ds (Mirror_prim.Prim.by_name region "mirror") in
+        let region = Mirror_nvm.Region.create ~seed ~epoch_len () in
+        let pack = Sets.make ds (Mirror_prim.Prim.by_name region discipline) in
         let r =
           Mirror_harness.Durable.torture_schedsim pack ~region
             ~recover:(fun () -> ())
             ~seed ~threads:3 ~ops_per_task:12 ~range:10
             ~mix:(Mirror_workload.Workload.of_updates updates)
-            ~crash_step ()
+            ~crash_step ~buffered ()
         in
         violations := !violations + List.length r.Mirror_harness.Durable.violations;
         List.iter
@@ -90,11 +111,27 @@ open Cmdliner
 let ds_arg =
   Arg.(value & opt string "list" & info [ "ds" ] ~docv:"DS" ~doc:"Structure.")
 
+let epoch_len_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "epoch-len" ] ~docv:"N"
+        ~doc:
+          "Deferred persists per buffered epoch (meaningful with \
+           --discipline buffered).")
+
 let list_t = Cmd.v (Cmd.info "list" ~doc:"List structures and algorithms.")
     Term.(const list_cmd $ const ())
 
 let run_t =
   let algo = Arg.(value & opt string "mirror" & info [ "algo" ] ~docv:"A" ~doc:"Algorithm.") in
+  let discipline =
+    Arg.(
+      value & opt (some string) None
+      & info [ "discipline"; "prim" ] ~docv:"P"
+          ~doc:
+            "Persistence discipline (mirror, buffered, or any hand-made \
+             strategy from `mirror_cli list`); overrides --algo.")
+  in
   let threads = Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T" ~doc:"Domains.") in
   let range = Arg.(value & opt int 1024 & info [ "range" ] ~docv:"R" ~doc:"Key range.") in
   let updates = Arg.(value & opt int 20 & info [ "updates" ] ~docv:"U" ~doc:"Update percent.") in
@@ -102,14 +139,23 @@ let run_t =
   let llc = Arg.(value & opt int (1 lsl 20) & info [ "llc" ] ~docv:"B" ~doc:"Modeled LLC bytes (0 = off).") in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one throughput experiment.")
-    Term.(const run_cmd $ ds_arg $ algo $ threads $ range $ updates $ seconds $ llc)
+    Term.(const run_cmd $ ds_arg $ algo $ discipline $ epoch_len_arg $ threads $ range $ updates $ seconds $ llc)
 
 let torture_t =
+  let discipline =
+    Arg.(
+      value & opt string "mirror"
+      & info [ "discipline"; "prim" ] ~docv:"P"
+          ~doc:
+            "Persistence discipline to torture (same vocabulary as `run \
+             --discipline`); \"buffered\" validates against the durable \
+             epoch cut.")
+  in
   let seeds = Arg.(value & opt int 10 & info [ "seeds" ] ~docv:"N" ~doc:"Schedules.") in
   let updates = Arg.(value & opt int 60 & info [ "updates" ] ~docv:"U" ~doc:"Update percent.") in
   Cmd.v
     (Cmd.info "torture" ~doc:"Crash-injection durable-linearizability check.")
-    Term.(const torture_cmd $ ds_arg $ seeds $ updates)
+    Term.(const torture_cmd $ ds_arg $ discipline $ epoch_len_arg $ seeds $ updates)
 
 let cmd =
   Cmd.group

@@ -2,7 +2,7 @@
 
      dune exec bin/psan_smoke.exe -- --csv psan_lint.csv
 
-   Four checks, any failure exits 1:
+   Five checks, any failure exits 1:
 
    1. clean sweep — every Mirror structure under both replica placements,
       elision off and on, across several seeded schedules, must produce
@@ -11,9 +11,13 @@
       violation classes (orig-nvmm: V1 and V2; izraelevitz / nvtraverse:
       V1), each with a replayable seed, proving the sanitizer detects what
       it claims to detect;
-   3. overhead — the sanitized reference run of a smoke workload must stay
+   3. buffered discipline — every structure under the buffered discipline
+      must be clean under the buffered rule set, and the negative control:
+      the strict rule set over the same buffered execution must flag the
+      deferred tail as V2 while the buffered rule set stays silent;
+   4. overhead — the sanitized reference run of a smoke workload must stay
       within --max-overhead (default 3x) of the unsanitized run;
-   4. W1 lint — the per-configuration redundant-persist counters are
+   5. W1 lint — the per-configuration redundant-persist counters are
       written to --csv (uploaded by CI next to the bench CSV artifact) so
       elision budgets can be tracked over time. *)
 
@@ -115,6 +119,67 @@ let negative_controls () =
   control "izraelevitz" [ Psan.V1 ];
   control "nvtraverse" [ Psan.V1 ]
 
+(* -- 3. buffered discipline -------------------------------------------------- *)
+
+(* Epoch length 8 so real deferral happens (at the default 1 every deferred
+   persist advances synchronously and the run degenerates to strict). *)
+let buffered_scenario ~ds ~threads ~ops =
+  M.set_scenario ~ds ~prim:"buffered" ~epoch_len:8 ~threads ~ops_per_task:ops
+    ~range:32 ~updates:60 ()
+
+let buffered_checks ~seeds =
+  let rows = ref [] in
+  (* clean sweep: the buffered rule set credits epoch-deferred persists,
+     so buffered executions must sanitize clean for every structure *)
+  List.iter
+    (fun ds ->
+      for seed = 1 to seeds do
+        let r =
+          M.psan_pass ~buffered:true
+            (buffered_scenario ~ds ~threads:3 ~ops:10)
+            ~seed
+        in
+        rows :=
+          {
+            r_ds = Sets.ds_name ds;
+            r_prim = "buffered";
+            r_elide = false;
+            r_seed = seed;
+            r_events = r.Psan.events;
+            r_w1_flush = r.Psan.w1_flush;
+            r_w1_fence = r.Psan.w1_fence;
+          }
+          :: !rows;
+        if not (Psan.clean r) then
+          fail "buffered %s seed=%d:@ %s" (Sets.ds_name ds) seed
+            (Psan.report_to_string r)
+      done)
+    Sets.all_ds;
+  (* negative control: the strict rule set over the same buffered
+     execution sees the deferred writes as never-persisted dependences
+     (V2); the buffered rule set must stay silent on the identical run *)
+  let sc = buffered_scenario ~ds:Sets.List_ds ~threads:3 ~ops:10 in
+  let strict = M.psan_pass ~buffered:false sc ~seed:1 in
+  if Psan.count strict Psan.V2 = 0 then
+    fail
+      "buffered negative control: strict rule set over a buffered \
+       execution produced no V2, report:@ %s"
+      (Psan.report_to_string strict)
+  else begin
+    let buf = M.psan_pass ~buffered:true sc ~seed:1 in
+    if not (Psan.clean buf) then
+      fail
+        "buffered rule set not silent on the negative-control execution:@ %s"
+        (Psan.report_to_string buf)
+    else
+      Format.printf
+        "buffered negative control: strict rules flag %s x%d on the \
+         deferred tail, buffered rules silent (replay: seed 1)@."
+        (Psan.class_name Psan.V2)
+        (Psan.count strict Psan.V2)
+  end;
+  List.rev !rows
+
 (* -- 3. overhead ------------------------------------------------------------ *)
 
 let time f =
@@ -167,8 +232,9 @@ let write_csv path rows =
 let main csv seeds max_overhead =
   let rows = clean_sweep ~seeds in
   negative_controls ();
+  let buffered_rows = buffered_checks ~seeds in
   overhead_check ~max_overhead;
-  write_csv csv rows;
+  write_csv csv (rows @ buffered_rows);
   if !failures = 0 then begin
     Format.printf "psan-smoke: all checks passed@.";
     0

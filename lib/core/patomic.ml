@@ -30,11 +30,23 @@ type placement =
   | Dram  (** volatile replica in DRAM: fast reads (the §6.2 configuration) *)
   | Nvmm  (** volatile replica also in NVMM (the §6.3 configuration) *)
 
+type discipline =
+  | Strict
+      (** the paper's protocol: every successful CE pays flush + fence
+          before completing — strict durable linearizability *)
+  | Buffered
+      (** epoch-batched persistence: [persist_repp] records the write into
+          the region's open epoch and completion does not fence; the epoch
+          advancer pays one batched flush per dirty line and one fence per
+          epoch.  Recovery rolls back to the last committed epoch —
+          buffered durable linearizability (bounded staleness). *)
+
 type 'a t = {
   uid : int;  (** pair identity carried on access events *)
   repv : 'a cell Atomic.t;
   repp : 'a cell Slot.t;
   placement : placement;
+  discipline : discipline;
   valid : bool Atomic.t;  (** false between a crash and this variable's recovery *)
   region : Region.t;
 }
@@ -68,7 +80,7 @@ let dwcas_v (a : 'a cell Atomic.t) ~(expected : 'a cell) ~(desired : 'a cell) =
   in
   go ()
 
-let make ?(placement = Dram) ?(persist = true) region v =
+let make ?(placement = Dram) ?(discipline = Strict) ?(persist = true) region v =
   let c = { v; seq = 0 } in
   let uid = Atomic.fetch_and_add next_uid 1 in
   (* allocation-time copy to NVMM + clwb (paper §4.3.2): billed by the
@@ -77,6 +89,7 @@ let make ?(placement = Dram) ?(persist = true) region v =
      fence is folded into the next protocol fence *)
   let repp =
     Slot.make ~persist ~charge_copy:persist ~pair:uid
+      ~buffered:(discipline = Buffered)
       ~seq_of:(fun c -> c.seq)
       region c
   in
@@ -86,6 +99,7 @@ let make ?(placement = Dram) ?(persist = true) region v =
       repv = Atomic.make c;
       repp;
       placement;
+      discipline;
       valid = Atomic.make true;
       region;
     }
@@ -137,10 +151,20 @@ let load t =
    mode on, the flush is skipped when [repp] is clean (a helper whose target
    the original writer already persisted pays nothing) and the fence is
    skipped when this domain has no pending write-back — so one call site
-   serves both the charged and the elided protocol. *)
+   serves both the charged and the elided protocol.
+
+   Under the buffered discipline this is the one protocol change: the write
+   is recorded into the region's open epoch (no flush, no fence on the hot
+   path) and made durable by a later epoch advance.  [repv] may then run
+   ahead of the media — Lemma 5.5 weakens to "anything a reader observes is
+   durable {e or} belongs to an epoch younger than the durable cut", which
+   is exactly buffered durable linearizability. *)
 let persist_repp t =
-  Slot.flush t.repp;
-  Region.fence t.region
+  match t.discipline with
+  | Strict ->
+      Slot.flush t.repp;
+      Region.fence t.region
+  | Buffered -> Slot.persist_deferred t.repp
 
 (** Figure 4: [compare_exchange t ~expected ~desired] returns
     [(success, witness)] where [witness] is the value found when the
@@ -250,6 +274,7 @@ let load_recovery t =
 
 (* -- introspection (tests, invariant checking) --------------------------- *)
 
+let discipline t = t.discipline
 let seq_v t = (Atomic.get t.repv).seq
 let seq_p t = (Slot.peek t.repp).seq
 let persisted_seq t = Option.map (fun c -> c.seq) (Slot.persisted_value t.repp)

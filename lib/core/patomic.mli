@@ -13,12 +13,28 @@ type placement =
   | Dram  (** volatile replica in DRAM — the §6.2 configuration *)
   | Nvmm  (** volatile replica at NVMM cost — the §6.3 configuration *)
 
+type discipline =
+  | Strict  (** flush + fence on every successful CE (the paper's protocol) *)
+  | Buffered
+      (** epoch-batched persistence: persists are recorded into the
+          region's open epoch, completion does not fence, recovery rolls
+          back to the last committed epoch.  See docs/MODEL.md, "Buffered
+          persistence semantics". *)
+
 type 'a t
 
 val make :
-  ?placement:placement -> ?persist:bool -> Mirror_nvm.Region.t -> 'a -> 'a t
+  ?placement:placement ->
+  ?discipline:discipline ->
+  ?persist:bool ->
+  Mirror_nvm.Region.t ->
+  'a ->
+  'a t
 (** Allocate both replicas.  [persist] (default [true]) models the
-    allocator's copy-to-NVMM + write-back (§4.3.2). *)
+    allocator's copy-to-NVMM + write-back (§4.3.2); allocation-time
+    persists stay strict even under [Buffered] (off-path, exactly like the
+    sharded allocator's metadata persists).  [discipline] defaults to
+    {!Strict}. *)
 
 val load : 'a t -> 'a
 (** Wait-free read of the volatile replica (Figure 5). *)
@@ -45,6 +61,7 @@ val load_recovery : 'a t -> 'a
 
 (** {1 Introspection (tests, invariant checking)} *)
 
+val discipline : 'a t -> discipline
 val seq_v : 'a t -> int
 val seq_p : 'a t -> int
 val persisted_seq : 'a t -> int option

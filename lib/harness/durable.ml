@@ -25,6 +25,11 @@ type entry = {
   inv : int;
   resp : int;
   ok : bool option;  (** [None]: cut by the crash *)
+  epoch : int;
+      (** region epoch at completion ([0]: strict discipline, no epoch
+          semantics).  Buffered validation treats completed operations
+          from epochs past the durable cut as optional — losing them is
+          bounded staleness, not a violation. *)
 }
 
 type violation = {
@@ -51,11 +56,29 @@ type worker = {
 }
 
 (** Validate the recovered state against the recorded history.  Returns the
-    violations (empty = durably linearizable execution). *)
-let validate ~prefilled ~range ~(observed : (int * int) list)
+    violations (empty = durably linearizable execution).  [durable_epoch]
+    switches to {e buffered} durable linearizability: completed operations
+    whose [epoch] lies past the cut are demoted to optional (recovery is
+    allowed to discard them with the incomplete epochs); everything at or
+    below the cut must still be explained.  Omitting it is the strict
+    validator — running it over a buffered execution flags the dropped
+    tail, the buffered negative control. *)
+let validate ?durable_epoch ~prefilled ~range ~(observed : (int * int) list)
     (workers : worker array) : violation list =
+  (* an operation completing past the durable cut is in flight {e with
+     respect to the cut}: the crash conceptually lands at the epoch
+     boundary, so the op may have taken (partial, rolled-back) effect or
+     not — the same freedom the checker grants ops cut mid-instruction,
+     encoded the same way (no recorded result, no response). *)
+  let relax e =
+    match durable_epoch with
+    | Some de when e.epoch > de && e.ok <> None ->
+        { e with ok = None; resp = max_int }
+    | _ -> e
+  in
   let by_key : (int, entry list) Hashtbl.t = Hashtbl.create 97 in
   let add e =
+    let e = relax e in
     Hashtbl.replace by_key e.key (e :: Option.value ~default:[] (Hashtbl.find_opt by_key e.key))
   in
   Array.iter
@@ -63,7 +86,7 @@ let validate ~prefilled ~range ~(observed : (int * int) list)
       List.iter add w.log;
       match w.pending with
       | Some (key, kind, inv) ->
-          add { key; kind; inv; resp = max_int; ok = None }
+          add { key; kind; inv; resp = max_int; ok = None; epoch = 0 }
       | None -> ())
     workers;
   let obs_tbl = Hashtbl.create 97 in
@@ -139,8 +162,8 @@ type capture = {
     invocation/response timestamped on a shared logical clock.  Determinism:
     the op stream depends only on [seed], so a replayed schedule re-executes
     the identical history. *)
-let workload_capture (module S : Sets.SET) ~seed ~threads ~ops_per_task
-    ~range ~mix : capture =
+let workload_capture ?(epoch_of = fun () -> 0) (module S : Sets.SET) ~seed
+    ~threads ~ops_per_task ~range ~mix : capture =
   let t = S.create ~capacity:range () in
   List.iter
     (fun k -> ignore (S.insert t k k))
@@ -172,8 +195,12 @@ let workload_capture (module S : Sets.SET) ~seed ~threads ~ops_per_task
         | K_remove -> S.remove t key
       in
       Mirror_nvm.Hooks.op_point Mirror_nvm.Hooks.Op_complete;
+      (* sampled in the same fiber step as completion: the op's deferred
+         writes are all tagged with epochs <= this one, so "epoch <= cut"
+         implies every write survives the cut *)
+      let epoch = epoch_of () in
       let resp = Atomic.fetch_and_add clock 1 in
-      w.log <- { key; kind; inv; resp; ok = Some ok } :: w.log;
+      w.log <- { key; kind; inv; resp; ok = Some ok; epoch } :: w.log;
       w.pending <- None
     done
   in
@@ -185,10 +212,15 @@ let workload_capture (module S : Sets.SET) ~seed ~threads ~ops_per_task
   }
 
 (** Schedsim-based torture: [threads] logical tasks of [ops_per_task]
-    operations each, cut at [crash_step] scheduling decisions. *)
+    operations each, cut at [crash_step] scheduling decisions.
+    [buffered]: tag every completion with the region's open epoch, make
+    the prefill durable (quiesce) before scheduling starts, and validate
+    against the buffered discipline (completions past the durable cut are
+    bounded staleness, not violations). *)
 let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
     ~(recover : unit -> unit) ?(policy = Mirror_nvm.Region.Adversarial)
-    ?psan ~seed ~threads ~ops_per_task ~range ~mix ~crash_step () : result =
+    ?(buffered = false) ?psan ~seed ~threads ~ops_per_task ~range ~mix
+    ~crash_step () : result =
   (* the sanitizer shadows everything from structure creation to the crash:
      prefill, the scheduled workload, and the cut itself *)
   let sanitized body =
@@ -196,11 +228,19 @@ let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
     | None -> body ()
     | Some sa -> Mirror_psan.Psan.install sa body
   in
+  let epoch_of =
+    if buffered then fun () -> Mirror_nvm.Region.cur_epoch region
+    else fun () -> 0
+  in
   let cap, outcome =
     sanitized (fun () ->
         let cap =
-          workload_capture (module S) ~seed ~threads ~ops_per_task ~range ~mix
+          workload_capture ~epoch_of (module S) ~seed ~threads ~ops_per_task
+            ~range ~mix
         in
+        (* the prefilled structure is handed over durable: its deferred
+           writes must not be at the mercy of the first crash *)
+        if buffered then Mirror_nvm.Region.quiesce region;
         let outcome =
           Mirror_schedsim.Sched.run ~seed ~max_steps:crash_step cap.cap_tasks
         in
@@ -217,7 +257,12 @@ let torture_schedsim (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
   let observed = cap.cap_observed () in
   let workers = cap.cap_workers in
   let violations =
-    validate ~prefilled:Mirror_workload.Workload.is_prefilled ~range ~observed workers
+    validate
+      ?durable_epoch:
+        (if buffered then Some (Mirror_nvm.Region.durable_epoch region)
+         else None)
+      ~prefilled:Mirror_workload.Workload.is_prefilled ~range ~observed
+      workers
   in
   let completed = Array.fold_left (fun a w -> a + List.length w.log) 0 workers in
   let inflight =
@@ -266,7 +311,7 @@ let torture_domains (module S : Sets.SET) ~(region : Mirror_nvm.Region.t)
         | K_remove -> S.remove t key
       in
       let resp = Atomic.fetch_and_add clock 1 in
-      w.log <- { key; kind; inv; resp; ok = Some ok } :: w.log
+      w.log <- { key; kind; inv; resp; ok = Some ok; epoch = 0 } :: w.log
     done
   in
   let doms = Array.init threads (fun i -> Domain.spawn (body i)) in

@@ -13,6 +13,10 @@ type entry = {
   inv : int;
   resp : int;
   ok : bool option;  (** [None]: cut by the crash *)
+  epoch : int;
+      (** region epoch at completion ([0]: strict discipline).  Buffered
+          validation demotes completions past the durable cut to
+          optional. *)
 }
 
 type violation = { vkey : int; observed : bool; events : entry list }
@@ -26,6 +30,7 @@ type worker = {
 }
 
 val validate :
+  ?durable_epoch:int ->
   prefilled:(int -> bool) ->
   range:int ->
   observed:(int * int) list ->
@@ -33,7 +38,11 @@ val validate :
   violation list
 (** Empty result = the execution is durably linearizable.  Also checks
     untouched keys kept their initial state and no out-of-range keys
-    appeared. *)
+    appeared.  [durable_epoch] switches to buffered durable
+    linearizability: completed operations whose [epoch] lies past the cut
+    become optional (bounded staleness); omit it for the strict validator
+    (which, over a buffered execution, flags the dropped tail — the
+    buffered negative control). *)
 
 type result = {
   violations : violation list;
@@ -56,6 +65,7 @@ type capture = {
     same histories. *)
 
 val workload_capture :
+  ?epoch_of:(unit -> int) ->
   (module Mirror_dstruct.Sets.SET) ->
   seed:int ->
   threads:int ->
@@ -64,13 +74,16 @@ val workload_capture :
   mix:Mirror_workload.Workload.mix ->
   capture
 (** The op stream depends only on [seed]: replaying the same schedule over a
-    fresh capture re-executes the identical history. *)
+    fresh capture re-executes the identical history.  [epoch_of] (default
+    [fun () -> 0]) stamps each completion's {!entry.epoch} — buffered
+    scenarios pass the region's open-epoch reader. *)
 
 val torture_schedsim :
   (module Mirror_dstruct.Sets.SET) ->
   region:Mirror_nvm.Region.t ->
   recover:(unit -> unit) ->
   ?policy:Mirror_nvm.Region.crash_policy ->
+  ?buffered:bool ->
   ?psan:Mirror_psan.Psan.t ->
   seed:int ->
   threads:int ->
@@ -82,6 +95,8 @@ val torture_schedsim :
   result
 (** Logical tasks under the deterministic scheduler, cut at [crash_step]
     scheduling decisions — crashes land in the middle of operations.
+    [buffered] (default [false]): stamp completions with the region's
+    epoch, quiesce the prefill, and validate the buffered discipline.
     [psan]: attach the persistency sanitizer for the whole run (prefill
     through crash); its report lands in {!result.psan}. *)
 

@@ -210,9 +210,12 @@ let run_panel ?(progress = fun (_ : string) -> ()) (cfg : config) (panel : panel
 let pp_row ppf r =
   Format.fprintf ppf "%-3s x=%-8d %a" r.panel.id r.x Runner.pp_point r.point
 
-(** CSV-ish row used by EXPERIMENTS.md tooling. *)
+(** CSV-ish row used by EXPERIMENTS.md tooling (schema v2: the trailing
+    epoch-clock columns joined with the buffered discipline; they are 0
+    for every strict algorithm). *)
 let row_to_csv r =
-  Printf.sprintf "%s,%s,%s,%d,%d,%.4f,%.3f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f"
+  Printf.sprintf
+    "%s,%s,%s,%d,%d,%.4f,%.3f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f"
     r.panel.id (Sets.ds_name r.panel.ds) r.point.Runner.algo r.x
     r.point.Runner.threads r.point.Runner.mops r.point.Runner.modeled_mops
     r.point.Runner.per_op.Runner.nvm_reads
@@ -220,9 +223,12 @@ let row_to_csv r =
     r.point.Runner.per_op.Runner.fences
     r.point.Runner.per_op.Runner.flushes_elided
     r.point.Runner.per_op.Runner.fences_elided
+    r.point.Runner.per_op.Runner.epoch_advances
+    r.point.Runner.per_op.Runner.fences_batched
+    r.point.Runner.per_op.Runner.writes_deferred
 
 let csv_header =
-  "panel,ds,algo,x,threads,mops,modeled_mops,nvm_reads_per_op,nvm_writes_per_op,flushes_per_op,fences_per_op,flushes_elided_per_op,fences_elided_per_op"
+  "panel,ds,algo,x,threads,mops,modeled_mops,nvm_reads_per_op,nvm_writes_per_op,flushes_per_op,fences_per_op,flushes_elided_per_op,fences_elided_per_op,epoch_advances_per_op,fences_batched_per_op,writes_deferred_per_op"
 
 (* -- elision panel: flush/fence elision on vs off ------------------------- *)
 
@@ -369,6 +375,156 @@ let elision_csv_header =
 let elision_point_to_csv p =
   Printf.sprintf "%s,%b,%d,%.4f,%.4f,%.4f,%.4f,%.4f" p.e_ds p.e_elide p.e_ops
     p.e_flushes p.e_fences p.e_flushes_elided p.e_fences_elided p.e_helps
+
+(* -- buffered panel: epoch-batched persistence vs strict Mirror ------------ *)
+
+(** The headline measurement of the buffered discipline: the same
+    contended schedsim workload run under strict Mirror and under the
+    buffered discipline at several epoch lengths, with exact deterministic
+    charged counts.  [b_strict_fences] is the strict baseline of the same
+    (structure, threads) cell, so each row carries its own fence-reduction
+    ratio; the open epoch is drained ({!Mirror_nvm.Region.quiesce}) before
+    counters are read, so the deferred tail's batch fence is charged to
+    the run that produced it. *)
+type buffered_point = {
+  b_ds : string;
+  b_threads : int;
+  b_epoch_len : int;  (** deferred persists per epoch *)
+  b_ops : int;  (** completed operations, summed over seeds *)
+  b_strict_fences : float;  (** strict Mirror fences per op (baseline) *)
+  b_fences : float;  (** buffered charged fences per op *)
+  b_fence_reduction : float;  (** strict / buffered fences per op *)
+  b_flushes : float;  (** buffered charged flushes per op *)
+  b_epoch_advances : float;
+  b_fences_batched : float;
+  b_writes_deferred : float;
+}
+
+(** The four structures of the buffered panel: the two paper set
+    structures where fence cost dominates plus the queue and stack of the
+    generality claim. *)
+let buffered_structures = [ "list"; "hash"; "queue"; "stack" ]
+
+let run_buffered_panel ?(threads_points = [ 1; 2; 4 ])
+    ?(epoch_lens = [ 1; 16; 256 ]) ?(ops_per_task = 40) ?(seeds = 4) () :
+    buffered_point list =
+  let module W = Mirror_workload.Workload in
+  let module Rng = Mirror_workload.Rng in
+  let set_driver ds ~prim ~threads region seed =
+    let (module S : Sets.SET) =
+      Sets.make ds (Mirror_prim.Prim.by_name region prim)
+    in
+    let range = 8 in
+    let t = S.create ~capacity:range () in
+    List.iter (fun k -> ignore (S.insert t k k)) (W.prefill_keys ~range);
+    List.init threads (fun i () ->
+        let rng = Rng.split ~seed i in
+        for _ = 1 to ops_per_task do
+          match W.gen rng (W.of_updates 70) ~range with
+          | W.Lookup k -> ignore (S.contains t k)
+          | W.Insert (k, v) -> ignore (S.insert t k v)
+          | W.Remove k -> ignore (S.remove t k)
+        done)
+  in
+  let queue_driver ~prim ~threads region seed =
+    let (module P : Mirror_prim.Prim.S) =
+      Mirror_prim.Prim.by_name region prim
+    in
+    let module Q = Mirror_dstruct.Queue.Make (P) in
+    let q = Q.create () in
+    ignore seed;
+    List.init threads (fun i () ->
+        for j = 1 to ops_per_task do
+          if j land 1 = 0 then Q.enqueue q ((i * 1000) + j)
+          else ignore (Q.dequeue q)
+        done)
+  in
+  let stack_driver ~prim ~threads region seed =
+    let (module P : Mirror_prim.Prim.S) =
+      Mirror_prim.Prim.by_name region prim
+    in
+    let module St = Mirror_dstruct.Stack.Make (P) in
+    let s = St.create () in
+    ignore seed;
+    List.init threads (fun i () ->
+        for j = 1 to ops_per_task do
+          if (i + j) land 1 = 0 then St.push s ((i * 1000) + j)
+          else ignore (St.pop s)
+        done)
+  in
+  let driver_of = function
+    | "list" -> set_driver Sets.List_ds
+    | "hash" -> set_driver Sets.Hash_ds
+    | "queue" -> queue_driver
+    | "stack" -> stack_driver
+    | s -> invalid_arg ("run_buffered_panel: unknown structure " ^ s)
+  in
+  let measure name ~prim ~threads ~epoch_len =
+    let driver = driver_of name in
+    let acc = Mirror_nvm.Stats.zero () in
+    let ops = ref 0 in
+    for seed = 1 to seeds do
+      let region =
+        Mirror_nvm.Region.create ~track_slots:false ~epoch_len ()
+      in
+      let tasks = driver ~prim ~threads region seed in
+      Mirror_nvm.Stats.reset_all ();
+      let o = Mirror_schedsim.Sched.run ~seed tasks in
+      if not o.Mirror_schedsim.Sched.completed then
+        failwith "run_buffered_panel: schedsim run did not complete";
+      Mirror_nvm.Region.quiesce region;
+      Mirror_nvm.Stats.add ~into:acc (Mirror_nvm.Stats.total ());
+      ops := !ops + (threads * ops_per_task)
+    done;
+    (max 1 !ops, acc)
+  in
+  List.concat_map
+    (fun name ->
+      List.concat_map
+        (fun threads ->
+          let sops, strict = measure name ~prim:"mirror" ~threads ~epoch_len:1 in
+          let strict_fences =
+            float_of_int strict.Mirror_nvm.Stats.fence /. float_of_int sops
+          in
+          List.map
+            (fun epoch_len ->
+              let bops, buf =
+                measure name ~prim:"buffered" ~threads ~epoch_len
+              in
+              let fops = float_of_int bops in
+              let fences =
+                float_of_int buf.Mirror_nvm.Stats.fence /. fops
+              in
+              {
+                b_ds = name;
+                b_threads = threads;
+                b_epoch_len = epoch_len;
+                b_ops = bops;
+                b_strict_fences = strict_fences;
+                b_fences = fences;
+                b_fence_reduction =
+                  (if fences > 0. then strict_fences /. fences
+                   else Float.infinity);
+                b_flushes = float_of_int buf.Mirror_nvm.Stats.flush /. fops;
+                b_epoch_advances =
+                  float_of_int buf.Mirror_nvm.Stats.epoch_advance /. fops;
+                b_fences_batched =
+                  float_of_int buf.Mirror_nvm.Stats.fence_batched /. fops;
+                b_writes_deferred =
+                  float_of_int buf.Mirror_nvm.Stats.writes_deferred /. fops;
+              })
+            epoch_lens)
+        threads_points)
+    buffered_structures
+
+let buffered_csv_header =
+  "ds,threads,epoch_len,ops,strict_fences_per_op,fences_per_op,fence_reduction,flushes_per_op,epoch_advances_per_op,fences_batched_per_op,writes_deferred_per_op"
+
+let buffered_point_to_csv p =
+  Printf.sprintf "%s,%d,%d,%d,%.4f,%.4f,%.2f,%.4f,%.4f,%.4f,%.4f" p.b_ds
+    p.b_threads p.b_epoch_len p.b_ops p.b_strict_fences p.b_fences
+    p.b_fence_reduction p.b_flushes p.b_epoch_advances p.b_fences_batched
+    p.b_writes_deferred
 
 (* -- recovery panel ---------------------------------------------------------------- *)
 

@@ -94,6 +94,47 @@ val run_elision_panel :
 val elision_csv_header : string
 val elision_point_to_csv : elision_point -> string
 
+(** {1 The buffered panel}
+
+    Epoch-batched persistence against strict Mirror: the same contended
+    schedsim workload per (structure, threads) cell, run under strict
+    Mirror and under the buffered discipline at several epoch lengths.
+    Counts are exact and deterministic; the open epoch is drained before
+    counters are read so the deferred tail is charged to its run.
+    bench/budgets.csv commits ceilings on [b_fences] and floors on
+    [b_fence_reduction] at epoch length 256. *)
+
+type buffered_point = {
+  b_ds : string;
+  b_threads : int;
+  b_epoch_len : int;  (** deferred persists per epoch *)
+  b_ops : int;  (** completed operations, summed over seeds *)
+  b_strict_fences : float;  (** strict Mirror fences per op (baseline) *)
+  b_fences : float;  (** buffered charged fences per op *)
+  b_fence_reduction : float;  (** strict / buffered fences per op *)
+  b_flushes : float;  (** buffered charged flushes per op *)
+  b_epoch_advances : float;
+  b_fences_batched : float;
+  b_writes_deferred : float;
+}
+
+val buffered_structures : string list
+(** ["list"; "hash"; "queue"; "stack"]. *)
+
+val run_buffered_panel :
+  ?threads_points:int list ->
+  ?epoch_lens:int list ->
+  ?ops_per_task:int ->
+  ?seeds:int ->
+  unit ->
+  buffered_point list
+(** One row per (structure, threads, epoch length), structures in
+    {!buffered_structures} order (defaults: 1/2/4 threads, epoch lengths
+    1/16/256, 40 ops per fiber, 4 seeds). *)
+
+val buffered_csv_header : string
+val buffered_point_to_csv : buffered_point -> string
+
 (** {1 Recovery panel} *)
 
 type recovery_point = {

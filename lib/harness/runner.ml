@@ -25,6 +25,10 @@ type per_op = {
   fences : float;
   flushes_elided : float;  (** skipped by the elision layer: zero cost *)
   fences_elided : float;
+  epoch_advances : float;  (** buffered epoch commits *)
+  fences_batched : float;  (** fences paid by epoch advances (subset of
+                               [fences]) *)
+  writes_deferred : float;  (** persists recorded into the epoch clock *)
 }
 
 type point = {
@@ -130,6 +134,9 @@ let run ?(seconds = 0.3) ?(seed = 42) ?(llc_bytes = 0)
       fences = float_of_int st.Stats.fence /. fops;
       flushes_elided = float_of_int st.Stats.flush_elided /. fops;
       fences_elided = float_of_int st.Stats.fence_elided /. fops;
+      epoch_advances = float_of_int st.Stats.epoch_advance /. fops;
+      fences_batched = float_of_int st.Stats.fence_batched /. fops;
+      writes_deferred = float_of_int st.Stats.writes_deferred /. fops;
     }
   in
   let wall = t1 -. t0 in
@@ -154,4 +161,7 @@ let pp_point ppf p =
      fe/op=%-5.2f)"
     p.algo p.threads p.ops p.mops p.modeled_mops p.per_op.nvm_reads
     p.per_op.nvm_writes p.per_op.flushes p.per_op.fences
-    p.per_op.flushes_elided p.per_op.fences_elided
+    p.per_op.flushes_elided p.per_op.fences_elided;
+  if p.per_op.writes_deferred > 0. || p.per_op.epoch_advances > 0. then
+    Format.fprintf ppf " buf(adv/op=%-5.3f defer/op=%-5.2f)"
+      p.per_op.epoch_advances p.per_op.writes_deferred

@@ -12,6 +12,10 @@ type per_op = {
   fences : float;
   flushes_elided : float;  (** skipped by the elision layer: zero cost *)
   fences_elided : float;
+  epoch_advances : float;  (** buffered epoch commits *)
+  fences_batched : float;  (** fences paid by epoch advances (subset of
+                               [fences]) *)
+  writes_deferred : float;  (** persists recorded into the epoch clock *)
 }
 
 type point = {

@@ -76,6 +76,11 @@ let crash_points ?(deep = false) (events : Hooks.persist_event array) :
         | Fence ->
             elided_open := false;
             true
+        | Epoch_bump ->
+            (* the buffered advance fires this between its batch fence and
+               the durable-epoch bump: crashing here loses a fully fenced
+               epoch (bounded staleness must absorb it) — always probed *)
+            true
         | Flush_elided | Fence_elided ->
             elided_open := true;
             true
@@ -258,8 +263,9 @@ let check ?(deep = false) ?(budget = max_int) (scenario : scenario) ~seed :
     bugs visible without any crash enumeration — run it before {!check} as
     a cheap first line of defense; the report's seed replays the schedule
     that produced each finding. *)
-let psan_pass (scenario : scenario) ~seed : Mirror_psan.Psan.report =
-  let sa = Mirror_psan.Psan.create ~seed () in
+let psan_pass ?(buffered = false) (scenario : scenario) ~seed :
+    Mirror_psan.Psan.report =
+  let sa = Mirror_psan.Psan.create ~seed ~buffered () in
   Mirror_psan.Psan.install sa (fun () ->
       let inst = scenario ~seed in
       let (_ : Sched.outcome * int array) =
@@ -489,17 +495,27 @@ let check_recovery ?(deep = false) ?(budget = max_int)
 (* -- the standard set-workload scenario ------------------------------------------ *)
 
 let set_scenario ~ds ~prim ?(policy = Mirror_nvm.Region.Adversarial)
-    ?(elide = false) ~threads ~ops_per_task ~range ~updates () : scenario =
+    ?(elide = false) ?(epoch_len = 1) ?(strict_validate = false) ~threads
+    ~ops_per_task ~range ~updates () : scenario =
  fun ~seed ->
-  let region = Mirror_nvm.Region.create ~seed ~elide () in
+  let buffered = prim = "buffered" in
+  let region = Mirror_nvm.Region.create ~seed ~elide ~epoch_len () in
   let pack =
     Mirror_dstruct.Sets.make ds (Mirror_prim.Prim.by_name region prim)
   in
+  let epoch_of =
+    if buffered then fun () -> Mirror_nvm.Region.cur_epoch region
+    else fun () -> 0
+  in
   let cap =
-    Mirror_harness.Durable.workload_capture pack ~seed ~threads ~ops_per_task
-      ~range
+    Mirror_harness.Durable.workload_capture ~epoch_of pack ~seed ~threads
+      ~ops_per_task ~range
       ~mix:(Mirror_workload.Workload.of_updates updates)
   in
+  (* the prefilled structure is handed over durable: its deferred tail is
+     drained before the scheduled (crashable) part of the run begins, so
+     only workload epochs are exposed to the crash *)
+  if buffered then Mirror_nvm.Region.quiesce region;
   {
     tasks = cap.cap_tasks;
     region;
@@ -514,7 +530,142 @@ let set_scenario ~ds ~prim ?(policy = Mirror_nvm.Region.Adversarial)
         Mirror_nvm.Region.mark_recovered region);
     validate =
       (fun () ->
-        Mirror_harness.Durable.validate
+        (* buffered validation demotes completed ops from undurable epochs
+           to maybe-lost; [strict_validate] suppresses that — the negative
+           control that must flag the dropped tail *)
+        let durable_epoch =
+          if buffered && not strict_validate then
+            Some (Mirror_nvm.Region.durable_epoch region)
+          else None
+        in
+        Mirror_harness.Durable.validate ?durable_epoch
           ~prefilled:Mirror_workload.Workload.is_prefilled ~range
           ~observed:(cap.cap_observed ()) cap.cap_workers);
+  }
+
+(* -- the queue scenario ----------------------------------------------------------- *)
+
+(* Durable linearizability for the MS queue by set arithmetic over unique
+   values: every enqueued value is distinct, so the recovered queue
+   contents plus the dequeue observations determine exactly which
+   completed operations survived the crash.  With [de] the durable cut
+   (infinite for the strict disciplines), the recovered state must show:
+
+   - no duplicated and no fabricated values;
+   - no resurrection: a value returned by a dequeue that completed in a
+     durable epoch must not reappear in the queue;
+   - no loss: a value enqueued by an op that completed in a durable epoch
+     and never durably dequeued must still be present — up to one slack
+     removal per dequeue that was in flight when the plug was pulled (a
+     cut dequeue may have durably swung the head before dying). *)
+let queue_scenario ~prim ?(policy = Mirror_nvm.Region.Adversarial)
+    ?(epoch_len = 1) ?(strict_validate = false) ~threads ~ops_per_task () :
+    scenario =
+ fun ~seed ->
+  let buffered = prim = "buffered" in
+  let region = Mirror_nvm.Region.create ~seed ~epoch_len () in
+  let (module P : Mirror_prim.Prim.S) = Mirror_prim.Prim.by_name region prim in
+  let module Q = Mirror_dstruct.Queue.Make (P) in
+  let q = Q.create () in
+  let prefill = List.init (max 2 threads) (fun i -> 900_000 + i) in
+  List.iter (Q.enqueue q) prefill;
+  if buffered then Mirror_nvm.Region.quiesce region;
+  let epoch_of () =
+    if buffered then Mirror_nvm.Region.cur_epoch region else 0
+  in
+  (* per-worker logs; a dequeue's in-flight flag stays set when the crash
+     cuts it between invocation and response *)
+  let enq_done = Array.make threads [] in
+  let deq_done = Array.make threads [] in
+  let deq_inflight = Array.make threads false in
+  let value ~tid j = (tid * 1000) + j in
+  let task tid () =
+    for j = 1 to ops_per_task do
+      if (tid + j) land 1 = 0 then begin
+        let v = value ~tid j in
+        Q.enqueue q v;
+        enq_done.(tid) <- (v, epoch_of ()) :: enq_done.(tid)
+      end
+      else begin
+        deq_inflight.(tid) <- true;
+        let r = Q.dequeue q in
+        deq_inflight.(tid) <- false;
+        deq_done.(tid) <- (r, epoch_of ()) :: deq_done.(tid)
+      end
+    done
+  in
+  {
+    tasks = List.init threads (fun tid () -> task tid ());
+    region;
+    crash_recover =
+      (fun () ->
+        Mirror_nvm.Region.crash ~policy region;
+        let (_ : bool) = Mirror_nvm.Region.begin_recovery region in
+        Mirror_nvm.Hooks.with_recovery (fun () ->
+            Hooks.recovery_point Hooks.R_begin;
+            Q.recover q;
+            Hooks.recovery_point Hooks.R_done);
+        Mirror_nvm.Region.mark_recovered region);
+    validate =
+      (fun () ->
+        let de =
+          if buffered && not strict_validate then
+            Mirror_nvm.Region.durable_epoch region
+          else max_int
+        in
+        let recovered = Q.to_list q in
+        let violations = ref [] in
+        let flag v observed =
+          violations :=
+            { Mirror_harness.Durable.vkey = v; observed; events = [] }
+            :: !violations
+        in
+        let present = Hashtbl.create 64 in
+        List.iter
+          (fun v ->
+            if Hashtbl.mem present v then flag v true
+            else Hashtbl.add present v ();
+            let legitimate =
+              List.mem v prefill
+              ||
+              let tid = v / 1000 and j = v mod 1000 in
+              tid >= 0 && tid < threads && j >= 1 && j <= ops_per_task
+            in
+            if not legitimate then flag v true)
+          recovered;
+        (* A completion epoch is sampled {e after} the op returns, so it
+           over-approximates the epochs of the op's writes: epoch <= de
+           proves the op's effect is durable, epoch > de proves nothing
+           either way (the last write may have landed just before an
+           advance committed its epoch).  So: a dequeue with epoch <= de
+           forbids resurrection; a dequeue at any epoch excuses absence. *)
+        let dequeued = Hashtbl.create 64 in
+        Array.iter
+          (List.iter (fun (r, epoch) ->
+               match r with
+               | Some v ->
+                   Hashtbl.replace dequeued v ();
+                   if epoch <= de && Hashtbl.mem present v then
+                     flag v true (* resurrection *)
+               | None -> ()))
+          deq_done;
+        (* durably enqueued, never dequeued, gone anyway: allowed only up
+           to the number of in-flight dequeues at the crash *)
+        let slack =
+          Array.fold_left (fun n f -> if f then n + 1 else n) 0 deq_inflight
+        in
+        let lost = ref [] in
+        let check_enqueued v epoch =
+          if
+            epoch <= de
+            && (not (Hashtbl.mem dequeued v))
+            && not (Hashtbl.mem present v)
+          then lost := v :: !lost
+        in
+        List.iter (fun v -> check_enqueued v 0) prefill;
+        Array.iter (List.iter (fun (v, epoch) -> check_enqueued v epoch))
+          enq_done;
+        if List.length !lost > slack then
+          List.iter (fun v -> flag v false) !lost;
+        !violations);
   }

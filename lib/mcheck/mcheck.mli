@@ -170,19 +170,24 @@ val check_recovery :
     state must surface as violations — proving the checker can see the
     failures the restart discipline prevents. *)
 
-val psan_pass : scenario -> seed:int -> Mirror_psan.Psan.report
+val psan_pass : ?buffered:bool -> scenario -> seed:int -> Mirror_psan.Psan.report
 (** One crash-free reference run under the persistency sanitizer
     ({!Mirror_psan.Psan}): instance construction (prefill included) and
     the scheduled workload are shadowed, and discipline violations
     (hot-path persistent reads, unpersisted dependences, replica-band
     breaks, cross-thread persist ordering) are flagged online — no crash
-    enumeration needed.  A cheap first pass before {!check}. *)
+    enumeration needed.  A cheap first pass before {!check}.  [buffered]
+    (default off) selects the sanitizer's buffered rule set, which credits
+    epoch-deferred persists — required when the scenario's discipline is
+    ["buffered"], spurious V2/V4 findings otherwise. *)
 
 val set_scenario :
   ds:Mirror_dstruct.Sets.ds ->
   prim:string ->
   ?policy:Mirror_nvm.Region.crash_policy ->
   ?elide:bool ->
+  ?epoch_len:int ->
+  ?strict_validate:bool ->
   threads:int ->
   ops_per_task:int ->
   range:int ->
@@ -193,4 +198,30 @@ val set_scenario :
     [threads x ops_per_task] operations on keys [< range] with [updates]%
     updates, persistence strategy [prim] (see {!Mirror_prim.Prim.by_name}),
     crash policy [policy] (default adversarial: only fenced write-backs
-    survive), flush/fence elision per [elide] (default off). *)
+    survive), flush/fence elision per [elide] (default off).
+
+    When [prim] is ["buffered"], the region's epoch clock runs at
+    [epoch_len] (default 1) deferred persists per epoch, the prefill is
+    quiesced before the crashable part of the run, completed operations are
+    stamped with their completion epoch, and validation demotes operations
+    from epochs past the persistent durable cut to maybe-lost — buffered
+    durable linearizability.  [strict_validate] (default off) keeps the
+    strict validator instead: the negative control, which must flag the
+    dropped deferred tail whenever [epoch_len > 1]. *)
+
+val queue_scenario :
+  prim:string ->
+  ?policy:Mirror_nvm.Region.crash_policy ->
+  ?epoch_len:int ->
+  ?strict_validate:bool ->
+  threads:int ->
+  ops_per_task:int ->
+  unit ->
+  scenario
+(** The MS-queue scenario: [threads] fibers alternating enqueues of
+    process-unique values with dequeues over a small durable prefill.
+    Validation is set arithmetic over the unique values — no duplicated,
+    fabricated or resurrected values, and no value lost whose enqueue
+    completed in a durable epoch (up to one slack removal per dequeue cut
+    in flight by the crash).  [epoch_len] / [strict_validate] as in
+    {!set_scenario}. *)

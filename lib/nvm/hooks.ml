@@ -34,6 +34,10 @@ type persist_event =
   | Fence_elided  (** an elided [sfence] (nothing pending, elision on) *)
   | Dwcas  (** a CAS on a persistent slot is about to execute *)
   | Write  (** an unconditional store to a persistent slot *)
+  | Epoch_bump
+      (** the durable-epoch slot is about to advance (buffered mode): the
+          window between an epoch advance's fence and this bump is a
+          first-class crash surface *)
 
 let event_name = function
   | Flush -> "flush"
@@ -42,6 +46,7 @@ let event_name = function
   | Fence_elided -> "fence-elided"
   | Dwcas -> "dwcas"
   | Write -> "write"
+  | Epoch_bump -> "epoch-bump"
 
 let persist_ref : (persist_event -> unit) ref = ref (fun _ -> ())
 
@@ -100,6 +105,16 @@ type access_op =
   | A_recovery_write
       (** privileged recovery write ({!Slot.recover_store}): store with
           immediate durability, only legal while the region is down *)
+  | A_persist_deferred
+      (** buffered mode: a persist was recorded into the current epoch's
+          deferred set instead of flushing ([a_seq] = value seq deferred) *)
+  | A_epoch_close
+      (** buffered mode: the current epoch closed ([a_seq] = its number) *)
+  | A_epoch_bump
+      (** buffered mode: the durable epoch advanced ([a_seq] = new value) *)
+  | A_rollback
+      (** crash recovery pruned a buffered slot to its durable cut
+          ([a_seq] = surviving version; [-1] when the slot is lost) *)
 
 type access = {
   a_op : access_op;
@@ -126,6 +141,10 @@ let access_op_name = function
   | A_make true -> "make-persisted"
   | A_make false -> "make"
   | A_recovery_write -> "recovery-write"
+  | A_persist_deferred -> "persist-deferred"
+  | A_epoch_close -> "epoch-close"
+  | A_epoch_bump -> "epoch-bump"
+  | A_rollback -> "rollback"
 
 let access_on = ref false
 let access_ref : (access -> unit) ref = ref (fun _ -> ())

@@ -19,6 +19,10 @@ type persist_event =
   | Fence_elided
   | Dwcas
   | Write
+  | Epoch_bump
+      (** the durable-epoch slot is about to advance (buffered mode) —
+          crashing here exposes the window between an epoch advance's
+          fence and its durable-epoch bump *)
 
 val event_name : persist_event -> string
 val persist_ref : (persist_event -> unit) ref
@@ -63,6 +67,16 @@ type access_op =
   | A_recovery_write
       (** privileged recovery write ({!Slot.recover_store}): store with
           immediate durability, only legal while the region is down *)
+  | A_persist_deferred
+      (** buffered mode: a persist was recorded into the current epoch's
+          deferred set instead of flushing ([a_seq] = value seq deferred) *)
+  | A_epoch_close
+      (** buffered mode: the current epoch closed ([a_seq] = its number) *)
+  | A_epoch_bump
+      (** buffered mode: the durable epoch advanced ([a_seq] = new value) *)
+  | A_rollback
+      (** crash recovery pruned a buffered slot to its durable cut
+          ([a_seq] = surviving version; [-1] when the slot is lost) *)
 
 type access = {
   a_op : access_op;

@@ -32,6 +32,17 @@ type crash_policy =
   | Eviction of float
       (** each un-fenced write independently survives with probability [p] *)
 
+(** One deferred persist, recorded by a buffered slot instead of flushing:
+    the snapshot to write back is captured in [d_flush] at record time (a
+    later advance must not persist content from a younger epoch, or the
+    recovered state stops being a consistent cut). *)
+type deferred = {
+  d_epoch : int;  (** the epoch that produced the write *)
+  d_uid : int;  (** slot uid, for per-advance deduplication *)
+  d_ver : int;  (** value version, ditto (keep the newest per slot) *)
+  d_flush : unit -> unit;  (** charged flush of the snapshot *)
+}
+
 type t = {
   id : int;  (** key into each domain's pending-set table *)
   mutable slot_resets : (persist_first:bool -> unit) list;
@@ -70,12 +81,31 @@ type t = {
           exactly what makes the persistent epoch necessary. *)
   mutable last_interrupted : bool;
       (** what the session's first {!begin_recovery} found (introspection) *)
+  (* -- buffered persistence (the epoch clock) -- *)
+  mutable epoch_len : int;
+      (** deferred persists per epoch; [1] makes every buffered persist
+          advance immediately (strict-equivalent costs) *)
+  mutable cur_epoch : int;  (** the open epoch; buffered writes tag with it *)
+  mutable durable_epoch : int;
+      (** persistent durable-epoch slot (recovery-write semantics, like
+          [recovery_epoch]: the bump is a single-word store ordered after
+          the advance's fence, so a crash never tears it).  Recovery keeps
+          exactly the writes tagged [<= durable_epoch]. *)
+  mutable cur_count : int;  (** deferred persists recorded in [cur_epoch] *)
+  mutable domain_deferred : deferred list ref list;
+      (** every domain's deferred set for this region; appends and drains
+          are under [mutex] (the advancer drains other domains' sets) *)
+  advancing : bool Atomic.t;
+      (** advance claim flag: help-advance is nonblocking — a thread that
+          finds an advance in flight just returns (buffered completion
+          never waits for durability) *)
 }
 
 let next_id = Atomic.make 0
 
 let create ?(track_slots = true) ?(runtime_evict_prob = 0.0) ?(seed = 0xC0FFEE)
-    ?(elide = false) () =
+    ?(elide = false) ?(epoch_len = 1) () =
+  if epoch_len < 1 then invalid_arg "Mirror_nvm.Region.create: epoch_len < 1";
   {
     id = Atomic.fetch_and_add next_id 1;
     slot_resets = [];
@@ -91,6 +121,12 @@ let create ?(track_slots = true) ?(runtime_evict_prob = 0.0) ?(seed = 0xC0FFEE)
     recovery_epoch = 0;
     in_recovery_session = false;
     last_interrupted = false;
+    epoch_len;
+    cur_epoch = 1;
+    durable_epoch = 0;
+    cur_count = 0;
+    domain_deferred = [];
+    advancing = Atomic.make false;
   }
 
 let is_down t = t.down
@@ -191,6 +227,147 @@ let pending_count t =
   Mutex.unlock t.mutex;
   n
 
+(* -- buffered persistence: the epoch clock -------------------------------- *)
+
+(* The calling domain's deferred set, same private-table idiom as
+   [pending_key].  Unlike pending write-backs, deferred sets are also
+   drained by *other* domains (help-advance), so every append and drain is
+   under the region mutex — short sections, never across a yield. *)
+let deferred_key : (int, deferred list ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let my_deferred t =
+  let tbl = Domain.DLS.get deferred_key in
+  match Hashtbl.find_opt tbl t.id with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add tbl t.id r;
+      Mutex.lock t.mutex;
+      t.domain_deferred <- r :: t.domain_deferred;
+      Mutex.unlock t.mutex;
+      r
+
+let cur_epoch t = t.cur_epoch
+let durable_epoch t = t.durable_epoch
+let epoch_len t = t.epoch_len
+
+let set_epoch_len t n =
+  if n < 1 then invalid_arg "Mirror_nvm.Region.set_epoch_len: n < 1";
+  t.epoch_len <- n
+
+let deferred_count t =
+  Mutex.lock t.mutex;
+  let n =
+    List.fold_left (fun acc r -> acc + List.length !r) 0 t.domain_deferred
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let announce_epoch t op seq =
+  Hooks.access_point
+    {
+      Hooks.a_op = op;
+      a_slot = -1;
+      a_pair = -1;
+      a_region = t.id;
+      a_domain = (Domain.self () :> int);
+      a_tid = Hooks.tid ();
+      a_seq = seq;
+      a_protocol = Hooks.in_protocol ();
+    }
+
+(** Commit every epoch up to [target]: close the open epoch if [target]
+    includes it, drain all domains' deferred records tagged [<= target],
+    flush the newest snapshot per slot, fence once, then bump the durable
+    epoch (a recovery-write: the single-word bump is ordered after the
+    fence and never tears).  Nonblocking help protocol: whoever fails the
+    [advancing] claim just returns — a buffered completion never waits for
+    durability, and a straggler epoch is drained by the next advance. *)
+let advance_to t ~target =
+  if Atomic.compare_and_set t.advancing false true then
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.advancing false)
+      (fun () ->
+        Mutex.lock t.mutex;
+        if target >= t.cur_epoch then begin
+          t.cur_epoch <- target + 1;
+          t.cur_count <- 0
+        end;
+        let records = ref [] in
+        List.iter
+          (fun r ->
+            let keep, take =
+              List.partition (fun d -> d.d_epoch > target) !r
+            in
+            r := keep;
+            records := take @ !records)
+          t.domain_deferred;
+        Mutex.unlock t.mutex;
+        if target > t.durable_epoch then begin
+          (if !records <> [] then begin
+             if !Hooks.access_on then
+               announce_epoch t Hooks.A_epoch_close target;
+             (* newest version per slot: batching turns n persists of one
+                line into one flush *)
+             let best : (int, deferred) Hashtbl.t = Hashtbl.create 16 in
+             List.iter
+               (fun d ->
+                 match Hashtbl.find_opt best d.d_uid with
+                 | Some d' when d'.d_ver >= d.d_ver -> ()
+                 | _ -> Hashtbl.replace best d.d_uid d)
+               !records;
+             Hashtbl.fold (fun _ d acc -> d :: acc) best []
+             |> List.sort (fun a b -> compare a.d_uid b.d_uid)
+             |> List.iter (fun d -> d.d_flush ());
+             let s = Stats.get () in
+             s.Stats.fence_batched <- s.Stats.fence_batched + 1;
+             fence t
+           end);
+          Hooks.persist_point Hooks.Epoch_bump;
+          t.durable_epoch <- target;
+          let s = Stats.get () in
+          s.Stats.epoch_advance <- s.Stats.epoch_advance + 1;
+          if !Hooks.access_on then
+            announce_epoch t Hooks.A_epoch_bump target;
+          Hooks.yield ()
+        end)
+
+(** Record one deferred persist into the open epoch; triggers a synchronous
+    advance when the epoch is full ([epoch_len] deferred persists).  The
+    [flush] thunk must persist a snapshot captured at record time. *)
+let record_deferred t ~uid ~ver ~flush =
+  check_up t;
+  let r = my_deferred t in
+  Mutex.lock t.mutex;
+  r := { d_epoch = t.cur_epoch; d_uid = uid; d_ver = ver; d_flush = flush } :: !r;
+  t.cur_count <- t.cur_count + 1;
+  let full = t.cur_count >= t.epoch_len in
+  let target = t.cur_epoch in
+  Mutex.unlock t.mutex;
+  let s = Stats.get () in
+  s.Stats.writes_deferred <- s.Stats.writes_deferred + 1;
+  if full then advance_to t ~target
+
+let help_advance t =
+  check_up t;
+  advance_to t ~target:t.cur_epoch
+
+let epoch_quiesced t = t.cur_count = 0 && t.durable_epoch >= t.cur_epoch - 1
+
+(** Make everything recorded so far durable (used after prefill and by
+    harnesses that need a known-durable baseline).  A no-op on regions that
+    never deferred anything, so strict cost models are unaffected. *)
+let rec quiesce t =
+  if not (epoch_quiesced t) then begin
+    advance_to t ~target:t.cur_epoch;
+    if not (epoch_quiesced t) then begin
+      (* an in-flight advance holds the claim; let it finish *)
+      Hooks.yield ();
+      quiesce t
+    end
+  end
+
 (* -- runtime eviction ---------------------------------------------------- *)
 
 let maybe_evict t (persist : unit -> unit) =
@@ -225,6 +402,14 @@ let crash ?(policy = Adversarial) t =
     | Eviction p -> Random.State.float t.rng 1.0 < p
   in
   List.iter (fun f -> if survive () then f ()) thunks;
+  (* 1b. buffered epochs: the deferred sets die with the cache, and the
+     epoch clock restarts just past the durable slot.  Writes from epochs
+     the durable slot does not cover are pruned by the slot resets below
+     (each consults [durable_epoch]). *)
+  List.iter (fun r -> r := []) t.domain_deferred;
+  t.cur_count <- 0;
+  t.cur_epoch <- t.durable_epoch + 1;
+  Atomic.set t.advancing false;
   (* 2. dirty unflushed lines: lost, unless eviction got them *)
   let persist_first = match policy with Adversarial -> false | Eviction _ -> true in
   List.iter

@@ -26,12 +26,17 @@ val create :
   ?runtime_evict_prob:float ->
   ?seed:int ->
   ?elide:bool ->
+  ?epoch_len:int ->
   unit ->
   t
 (** [track_slots] (default [true]): register slots for crash processing.
     Benchmarks disable it — they never crash and must not retain every node
     ever allocated.  [elide] (default [false]): enable flush/fence elision;
-    off preserves the exact charged costs of the paper's transformations. *)
+    off preserves the exact charged costs of the paper's transformations.
+    [epoch_len] (default [1]): deferred persists per buffered epoch; at [1]
+    every buffered persist advances immediately, reproducing strict Mirror
+    persist counts exactly.
+    @raise Invalid_argument when [epoch_len < 1]. *)
 
 val is_down : t -> bool
 (** True between a {!crash} and {!mark_recovered}. *)
@@ -68,6 +73,49 @@ val pending_count : t -> int
 
 val maybe_evict : t -> (unit -> unit) -> unit
 (** Run the persist action with the region's runtime eviction probability. *)
+
+(** {1 Buffered persistence (the epoch clock)}
+
+    The third discipline (after the strict transformations and elision):
+    buffered slots record their persists into the open epoch's per-domain
+    deferred set instead of flushing, and a nonblocking advancer commits
+    whole epochs at once — flush the newest snapshot per dirty slot, one
+    fence, then bump the persistent durable-epoch slot.  Recovery keeps
+    exactly the writes tagged [<= durable_epoch]: a consistent cut at an
+    epoch boundary, trading strict durability for bounded staleness.  See
+    docs/MODEL.md, "Buffered persistence semantics". *)
+
+val cur_epoch : t -> int
+(** The open epoch (buffered writes tag with it).  Starts at [1]. *)
+
+val durable_epoch : t -> int
+(** The persistent durable-epoch slot: everything tagged [<= durable_epoch]
+    survives any crash.  Starts at [0]; survives crashes. *)
+
+val epoch_len : t -> int
+val set_epoch_len : t -> int -> unit
+(** Deferred persists per epoch. @raise Invalid_argument when [< 1]. *)
+
+val deferred_count : t -> int
+(** Deferred records not yet committed, across all domains
+    (introspection). *)
+
+val record_deferred :
+  t -> uid:int -> ver:int -> flush:(unit -> unit) -> unit
+(** Record one deferred persist ([flush] must persist a snapshot captured
+    at record time); triggers a synchronous epoch advance once the open
+    epoch holds [epoch_len] records.  Used by {!Slot.persist_deferred}. *)
+
+val help_advance : t -> unit
+(** Close the open epoch and commit everything up to it — flush, one
+    fence, durable-epoch bump.  Nonblocking: if another advance is in
+    flight this returns immediately (the straggler epoch is drained by the
+    next advance). *)
+
+val quiesce : t -> unit
+(** Drive advances until nothing deferred is outstanding and the durable
+    epoch has caught up.  A no-op on regions that never deferred anything,
+    so strict cost models are unaffected. *)
 
 val crash : ?policy:crash_policy -> t -> unit
 (** Simulate a full-system crash.  Callers must quiesce other domains first

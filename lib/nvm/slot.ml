@@ -14,18 +14,31 @@
     call {!Hooks.yield} at each atomic step so the deterministic scheduler
     can interleave them. *)
 
-type 'a entry = { v : 'a; ver : int }
+type 'a entry = { v : 'a; ver : int; ep : int }
+(** [ep] is the epoch that produced the write: [0] for strict slots
+    (immediately committable), the region's open epoch for buffered slots.
+    Crash recovery keeps only entries tagged [<= Region.durable_epoch]. *)
 
 type 'a t = {
   region : Region.t;
   uid : int;  (** global location identity, for access-event attribution *)
   pair : int;  (** owning Mirror pair uid, [-1] when not a replica *)
+  buffered : bool;
+      (** buffered discipline: writes tag the open epoch and persists are
+          recorded into the epoch's deferred set instead of flushing *)
   seq_of : ('a -> int) option;
       (** value-seq extractor for access events: Mirror passes the cell's
           sequence number so slot events and replica events share one
           namespace; plain slots fall back to the internal line version *)
   current : 'a entry Atomic.t;
-  persisted : 'a entry option Atomic.t;
+  persisted : 'a entry list Atomic.t;
+      (** media history, newest (max [ver]) first, kept as the Pareto front
+          over (version high, epoch low): an entry is dropped once another
+          entry has both [ver >=] and [ep <=] it.  Strict slots (all
+          [ep = 0]) collapse to at most one entry — the old single
+          [persisted] word.  Buffered slots keep the older durable entry
+          alive until the newer entry's epoch commits, so a crash can roll
+          back to the durable cut. *)
   lost : bool Atomic.t;
       (** set when a crash hits a slot that was never persisted: its
           post-crash content is garbage, and any access is a detected bug *)
@@ -35,6 +48,9 @@ let next_uid = Atomic.make 0
 
 let entry_seq t (e : 'a entry) =
   match t.seq_of with Some f -> f e.v | None -> e.ver
+
+(* The epoch tag for a fresh write on this slot. *)
+let write_epoch t = if t.buffered then Region.cur_epoch t.region else 0
 
 (* Announce one structured access event (gated: call sites check
    [Hooks.access_on] first so the uninstrumented path pays one load). *)
@@ -51,32 +67,60 @@ let announce t op ~seq =
       a_protocol = Hooks.in_protocol ();
     }
 
+(* Write-backs stay monotone per (version, epoch): an offer is dropped when
+   the front already dominates it (an entry with [ver >=] and [ep <=]);
+   otherwise it joins the front and evicts the entries it dominates.  On
+   strict slots (all [ep = 0]) this is exactly the old max-version rule. *)
 let rec persist_monotone t (e : 'a entry) =
-  match Atomic.get t.persisted with
-  | Some p when p.ver >= e.ver -> ()
-  | old ->
-      if not (Atomic.compare_and_set t.persisted old (Some e)) then
-        persist_monotone t e
+  let old = Atomic.get t.persisted in
+  if List.exists (fun p -> p.ver >= e.ver && p.ep <= e.ep) old then ()
+  else begin
+    let kept = List.filter (fun p -> not (p.ver <= e.ver && p.ep >= e.ep)) old in
+    let rec insert = function
+      | p :: rest when p.ver > e.ver -> p :: insert rest
+      | rest -> e :: rest
+    in
+    if not (Atomic.compare_and_set t.persisted old (insert kept)) then
+      persist_monotone t e
+  end
 
-let make ?(persist = false) ?(charge_copy = false) ?(pair = -1) ?seq_of region
-    v =
-  let e = { v; ver = 0 } in
+let newest_persisted t =
+  match Atomic.get t.persisted with [] -> None | p :: _ -> Some p
+
+let make ?(persist = false) ?(charge_copy = false) ?(pair = -1)
+    ?(buffered = false) ?seq_of region v =
+  let e = { v; ver = 0; ep = 0 } in
   let t =
     {
       region;
       uid = Atomic.fetch_and_add next_uid 1;
       pair;
+      buffered;
       seq_of;
       current = Atomic.make e;
-      persisted = Atomic.make (if persist then Some e else None);
+      persisted = Atomic.make (if persist then [ e ] else []);
       lost = Atomic.make false;
     }
   in
   Region.register_slot region (fun ~persist_first ->
       if persist_first then persist_monotone t (Atomic.get t.current);
-      match Atomic.get t.persisted with
-      | Some p -> Atomic.set t.current p
-      | None -> Atomic.set t.lost true);
+      (* the durable cut: entries from epochs the durable slot does not
+         cover are discarded even if they physically reached the media —
+         they may be part of an inconsistent (torn-epoch) state *)
+      let de = Region.durable_epoch region in
+      let hist = Atomic.get t.persisted in
+      let rolled_back = List.exists (fun p -> p.ep > de) hist in
+      match List.filter (fun p -> p.ep <= de) hist with
+      | [] ->
+          Atomic.set t.persisted [];
+          Atomic.set t.lost true;
+          if rolled_back && !Hooks.access_on then
+            announce t Hooks.A_rollback ~seq:(-1)
+      | p :: _ ->
+          Atomic.set t.persisted [ p ];
+          Atomic.set t.current p;
+          if rolled_back && !Hooks.access_on then
+            announce t Hooks.A_rollback ~seq:(entry_seq t p));
   if charge_copy && persist then begin
     (* allocation-time copy to NVMM + clwb: the caller initialised this
        line durably, so bill the write and write-back here in the
@@ -122,7 +166,7 @@ let store t v =
   Latency.nvm_write ();
   let rec go () =
     let cur = Atomic.get t.current in
-    let e = { v; ver = cur.ver + 1 } in
+    let e = { v; ver = cur.ver + 1; ep = write_epoch t } in
     if Atomic.compare_and_set t.current cur e then begin
       if !Hooks.access_on then announce t Hooks.A_store ~seq:(entry_seq t e);
       Region.maybe_evict t.region (fun () -> persist_monotone t e)
@@ -145,7 +189,7 @@ let cas_pred t ~(expect : 'a -> bool) ~(desired : 'a) : bool * 'a =
   let rec go () =
     let cur = Atomic.get t.current in
     if expect cur.v then begin
-      let e = { v = desired; ver = cur.ver + 1 } in
+      let e = { v = desired; ver = cur.ver + 1; ep = write_epoch t } in
       if Atomic.compare_and_set t.current cur e then begin
         if !Hooks.access_on then
           announce t (Hooks.A_cas true) ~seq:(entry_seq t e);
@@ -172,8 +216,8 @@ let cas t ~expected ~desired =
     per-node flag, not an NVMM access). *)
 let is_dirty t =
   match Atomic.get t.persisted with
-  | None -> true
-  | Some p -> p.ver < (Atomic.get t.current).ver
+  | [] -> true
+  | p :: _ -> p.ver < (Atomic.get t.current).ver
 
 (** [clwb]: record a write-back of the line's current content.  The value is
     guaranteed persistent only once a subsequent {!Region.fence} completes,
@@ -207,22 +251,81 @@ let flush t =
     if !Hooks.access_on then announce t Hooks.A_flush ~seq:(entry_seq t snapshot)
   end
 
+(* The epoch advancer's flush of a deferred snapshot: the charged-cost
+   twin of {!flush}, but over the snapshot captured at record time (a
+   later advance must not persist younger-epoch content).  Elision applies
+   when the front already covers the snapshot (e.g. spontaneous eviction
+   beat the advance to it). *)
+let flush_snapshot t snapshot =
+  if
+    Region.elision t.region
+    && List.exists
+         (fun p -> p.ver >= snapshot.ver && p.ep <= snapshot.ep)
+         (Atomic.get t.persisted)
+  then begin
+    Hooks.persist_point Hooks.Flush_elided;
+    let s = Stats.get () in
+    s.Stats.flush_elided <- s.Stats.flush_elided + 1;
+    if !Hooks.access_on then
+      announce t Hooks.A_flush_elided ~seq:(entry_seq t snapshot)
+  end
+  else begin
+    Hooks.persist_point Hooks.Flush;
+    let s = Stats.get () in
+    s.Stats.flush <- s.Stats.flush + 1;
+    Latency.flush ();
+    Region.add_pending t.region (fun () -> persist_monotone t snapshot);
+    if !Hooks.access_on then announce t Hooks.A_flush ~seq:(entry_seq t snapshot)
+  end;
+  Hooks.yield ()
+
+(** Buffered persist: record the current content into the open epoch's
+    deferred set instead of flushing — free on the hot path (the epoch
+    advance pays the batched flush + fence later).  With elision on and a
+    clean line, even the record is skipped (counted as [flush_elided],
+    exactly when strict {!flush} would elide). *)
+let persist_deferred t =
+  Hooks.yield ();
+  check t;
+  if Region.elision t.region && not (is_dirty t) then begin
+    Hooks.persist_point Hooks.Flush_elided;
+    let s = Stats.get () in
+    s.Stats.flush_elided <- s.Stats.flush_elided + 1;
+    if !Hooks.access_on then
+      announce t Hooks.A_flush_elided ~seq:(entry_seq t (Atomic.get t.current))
+  end
+  else begin
+    let snapshot = Atomic.get t.current in
+    if !Hooks.access_on then
+      announce t Hooks.A_persist_deferred ~seq:(entry_seq t snapshot);
+    Region.record_deferred t.region ~uid:t.uid ~ver:snapshot.ver
+      ~flush:(fun () -> flush_snapshot t snapshot)
+  end
+
 (** Recovery write: store + immediate durability, usable while the region
     is down (the recovery procedure is the only code running, and it
     persists everything it writes before normal operation resumes).  Also
     heals a lost slot by overwriting its garbage. *)
 let recover_store t v =
   let cur = Atomic.get t.current in
-  let e = { v; ver = cur.ver + 1 } in
+  let e = { v; ver = cur.ver + 1; ep = 0 } in
   Atomic.set t.current e;
-  Atomic.set t.persisted (Some e);
+  Atomic.set t.persisted [ e ];
   Atomic.set t.lost false;
   if !Hooks.access_on then
     announce t Hooks.A_recovery_write ~seq:(entry_seq t e)
 
 (** Test/recovery introspection: what would survive a crash right now
     (assuming pending write-backs are lost). *)
-let persisted_value t = Option.map (fun e -> e.v) (Atomic.get t.persisted)
+let persisted_value t = Option.map (fun e -> e.v) (newest_persisted t)
+
+(** What the durable-epoch cut would restore right now: the newest
+    persisted entry from a committed epoch (test/recovery introspection). *)
+let durable_value t =
+  let de = Region.durable_epoch t.region in
+  match List.filter (fun p -> p.ep <= de) (Atomic.get t.persisted) with
+  | [] -> None
+  | p :: _ -> Some p.v
 
 (** The coherent (cache) view, without charging costs — test-only. *)
 let peek t = (Atomic.get t.current).v

@@ -14,6 +14,7 @@ val make :
   ?persist:bool ->
   ?charge_copy:bool ->
   ?pair:int ->
+  ?buffered:bool ->
   ?seq_of:('a -> int) ->
   Region.t ->
   'a ->
@@ -29,7 +30,11 @@ val make :
     persistent replica of, for access-event attribution.  [seq_of] extracts
     the value-sequence number announced on access events (Mirror passes the
     cell's seq so replica events share one namespace); the default is the
-    slot's internal line version. *)
+    slot's internal line version.  [buffered] (default [false]) puts the
+    slot under the buffered discipline: writes tag the region's open epoch
+    and {!persist_deferred} records into the epoch's deferred set; crash
+    recovery rolls the slot back to the newest write from a committed
+    epoch ([<= Region.durable_epoch]). *)
 
 val load : 'a t -> 'a
 (** Load from NVMM, paying the NVMM read cost. *)
@@ -50,6 +55,15 @@ val flush : 'a t -> unit
     region's elision mode is on ({!Region.elision}) and the line is clean,
     this is a free no-op counted as {!Stats.t.flush_elided}. *)
 
+val persist_deferred : 'a t -> unit
+(** Buffered persist: record the line's current content into the region's
+    open epoch instead of flushing — free on the hot path; the epoch
+    advance pays one batched flush per dirty slot and one fence for the
+    whole epoch.  With elision on and a clean line even the record is
+    skipped (counted as {!Stats.t.flush_elided}, exactly when strict
+    {!flush} would elide).  May trigger a synchronous epoch advance when
+    the record fills the epoch ({!Region.record_deferred}). *)
+
 val is_dirty : 'a t -> bool
 (** Whether the line holds data newer than the persisted state — the check
     behind Zuriel et al.'s redundant-persist elimination.  Free of charge. *)
@@ -60,7 +74,14 @@ val recover_store : 'a t -> 'a -> unit
     replay).  Heals lost slots. *)
 
 val persisted_value : 'a t -> 'a option
-(** What would survive a crash right now ([None]: nothing ever persisted). *)
+(** The newest media content ([None]: nothing ever persisted).  On a
+    buffered slot this may sit in a not-yet-committed epoch; what a crash
+    would actually restore is {!durable_value}. *)
+
+val durable_value : 'a t -> 'a option
+(** What the durable-epoch cut would restore right now: the newest
+    persisted entry whose epoch is committed ([<= Region.durable_epoch]).
+    Equals {!persisted_value} on strict slots. *)
 
 val peek : 'a t -> 'a
 (** The coherent view without cost accounting — tests and recovery only. *)

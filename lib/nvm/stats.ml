@@ -37,6 +37,10 @@ type t = {
   mutable rec_steals : int;  (** successful work-steals between mark workers *)
   mutable rec_mark_ns : int;  (** wall-clock ns spent in the mark phase *)
   mutable rec_sweep_ns : int;  (** wall-clock ns spent in the sweep phase *)
+  (* buffered-persistence counters, maintained by [Region]/[Slot] *)
+  mutable epoch_advance : int;  (** epoch advances committed *)
+  mutable fence_batched : int;  (** fences issued by epoch advances *)
+  mutable writes_deferred : int;  (** persists recorded into an epoch set *)
 }
 
 let zero () =
@@ -63,6 +67,9 @@ let zero () =
     rec_steals = 0;
     rec_mark_ns = 0;
     rec_sweep_ns = 0;
+    epoch_advance = 0;
+    fence_batched = 0;
+    writes_deferred = 0;
   }
 
 let add ~into:a b =
@@ -87,7 +94,10 @@ let add ~into:a b =
   a.rec_swept <- a.rec_swept + b.rec_swept;
   a.rec_steals <- a.rec_steals + b.rec_steals;
   a.rec_mark_ns <- a.rec_mark_ns + b.rec_mark_ns;
-  a.rec_sweep_ns <- a.rec_sweep_ns + b.rec_sweep_ns
+  a.rec_sweep_ns <- a.rec_sweep_ns + b.rec_sweep_ns;
+  a.epoch_advance <- a.epoch_advance + b.epoch_advance;
+  a.fence_batched <- a.fence_batched + b.fence_batched;
+  a.writes_deferred <- a.writes_deferred + b.writes_deferred
 
 let clear t =
   t.dram_read <- 0;
@@ -111,7 +121,10 @@ let clear t =
   t.rec_swept <- 0;
   t.rec_steals <- 0;
   t.rec_mark_ns <- 0;
-  t.rec_sweep_ns <- 0
+  t.rec_sweep_ns <- 0;
+  t.epoch_advance <- 0;
+  t.fence_batched <- 0;
+  t.writes_deferred <- 0
 
 (* Registry of every per-domain recorder ever created.  Protected by a mutex;
    only touched on domain startup and when the harness collects. *)
@@ -147,8 +160,9 @@ let pp ppf t =
     "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d) flush=%d fence=%d \
      elided(fl=%d fe=%d) help=%d retry=%d alloc=%d reclaim=%d arena(carve=%d \
      rfree=%d drain=%d) rec(marked=%d swept=%d steals=%d mark_ns=%d \
-     sweep_ns=%d)"
+     sweep_ns=%d) epoch(adv=%d fence=%d defer=%d)"
     t.dram_read t.dram_write t.dram_cas t.nvm_read t.nvm_write t.nvm_cas
     t.flush t.fence t.flush_elided t.fence_elided t.help t.cas_retry t.alloc
     t.reclaim t.alloc_carve t.alloc_remote_free t.alloc_remote_drain
     t.rec_marked t.rec_swept t.rec_steals t.rec_mark_ns t.rec_sweep_ns
+    t.epoch_advance t.fence_batched t.writes_deferred

@@ -30,6 +30,9 @@ type t = {
   mutable rec_steals : int;
   mutable rec_mark_ns : int;
   mutable rec_sweep_ns : int;
+  mutable epoch_advance : int;  (** epoch advances committed (buffered) *)
+  mutable fence_batched : int;  (** fences issued by epoch advances *)
+  mutable writes_deferred : int;  (** persists recorded into an epoch set *)
 }
 
 val zero : unit -> t

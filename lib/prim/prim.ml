@@ -260,6 +260,7 @@ module Make_mirror (C : sig
   include REGION
 
   val placement : Mirror_core.Patomic.placement
+  val discipline : Mirror_core.Patomic.discipline
   val name : string
 end) : S = struct
   let name = C.name
@@ -268,7 +269,8 @@ end) : S = struct
   type 'a t = 'a Mirror_core.Patomic.t
 
   let make v =
-    Mirror_core.Patomic.make ~placement:C.placement ~persist:true region v
+    Mirror_core.Patomic.make ~placement:C.placement ~discipline:C.discipline
+      ~persist:true region v
 
   let load t = Mirror_core.Patomic.load t
   let load_t = load
@@ -283,16 +285,25 @@ end
 module Mirror_dram (R : REGION) : S = Make_mirror (struct
   let region = R.region
   let placement = Mirror_core.Patomic.Dram
+  let discipline = Mirror_core.Patomic.Strict
   let name = "mirror"
 end)
 
 module Mirror_nvmm (R : REGION) : S = Make_mirror (struct
   let region = R.region
   let placement = Mirror_core.Patomic.Nvmm
+  let discipline = Mirror_core.Patomic.Strict
   let name = "mirror-nvmm"
 end)
 
-(** All six strategies over a region, for harness enumeration. *)
+module Mirror_buffered (R : REGION) : S = Make_mirror (struct
+  let region = R.region
+  let placement = Mirror_core.Patomic.Dram
+  let discipline = Mirror_core.Patomic.Buffered
+  let name = "buffered"
+end)
+
+(** All seven strategies over a region, for harness enumeration. *)
 let all_for (region : Region.t) : pack list =
   let module R = struct
     let region = region
@@ -304,13 +315,14 @@ let all_for (region : Region.t) : pack list =
     (module Nvtraverse (R) : S);
     (module Mirror_dram (R) : S);
     (module Mirror_nvmm (R) : S);
+    (module Mirror_buffered (R) : S);
   ]
 
 (* Kept in sync with [all_for] by the test suite; static so CLIs can print
    the valid set without instantiating a region. *)
 let all_names =
   [ "orig-dram"; "orig-nvmm"; "izraelevitz"; "nvtraverse"; "mirror";
-    "mirror-nvmm" ]
+    "mirror-nvmm"; "buffered" ]
 
 let by_name (region : Region.t) (name : string) : pack =
   match

@@ -1,11 +1,12 @@
-(** Atomic-field primitives: one signature, six persistence strategies.
+(** Atomic-field primitives: one signature, seven persistence strategies.
 
     Every lock-free data structure in this repository is a functor over
     {!S}; instantiating it with a different primitive yields the exact
     algorithm variants the paper evaluates — the original volatile
     structure (on DRAM or at NVMM cost), the Izraelevitz et al. and
-    NVTraverse general transformations, and Mirror with either placement
-    of its volatile replica.
+    NVTraverse general transformations, Mirror with either placement of
+    its volatile replica, and Mirror under the buffered (epoch-batched)
+    persistence discipline.
 
     [cas] compares values by physical equality — the semantics of a
     hardware CAS on a word: store immediates or compare heap values by
@@ -71,8 +72,16 @@ module Mirror_dram (_ : REGION) : S
 module Mirror_nvmm (_ : REGION) : S
 (** Mirror with both replicas at NVMM cost (§6.3). *)
 
+module Mirror_buffered (_ : REGION) : S
+(** Mirror under buffered durable linearizability: persists are recorded
+    into the region's epoch clock instead of flushing on the hot path; the
+    epoch advancer batches one fence per epoch, and recovery restores the
+    last committed epoch.  Epoch length comes from the region
+    ({!Mirror_nvm.Region.set_epoch_len}); at the default length 1 the
+    charged costs equal strict Mirror's exactly. *)
+
 val all_for : Mirror_nvm.Region.t -> pack list
-(** All six strategies over one region, for harness enumeration. *)
+(** All seven strategies over one region, for harness enumeration. *)
 
 val all_names : string list
 (** The strategy names accepted by {!by_name}, in {!all_for} order —
@@ -80,5 +89,5 @@ val all_names : string list
 
 val by_name : Mirror_nvm.Region.t -> string -> pack
 (** Strategy by name ("orig-dram", "orig-nvmm", "izraelevitz",
-    "nvtraverse", "mirror", "mirror-nvmm").
+    "nvtraverse", "mirror", "mirror-nvmm", "buffered").
     @raise Invalid_argument on unknown names. *)

@@ -38,6 +38,11 @@
       leniently but not strictly — e.g. thread A's flush was committed
       only by thread B's racing fence.  Benign in the single-domain
       simulation, incorrect on hardware.
+    - {b V5} (post-recovery staleness): after a buffered rollback, an
+      operation observes a value newer than the claimed durable epoch —
+      state from a discarded (incomplete) epoch survived recovery.  The
+      rollback event arms a per-slot watch with the surviving version;
+      any read above it before a fresh write trips the check.
     - {b W1} (warning tier, not a violation): redundant persisting
       operations — a charged flush of an already-durable version, or a
       charged fence that commits nothing new.  These are exactly the
@@ -58,6 +63,16 @@
     - Version 0 (allocation-time content) is treated as always durable:
       the paper folds allocation persistence into the next protocol fence
       (§4.3.2), and flagging initial values would flood unrelated classes.
+    - Buffered rule set ([create ~buffered:true]): under buffered durable
+      linearizability a completed operation may legitimately depend on a
+      version that is only {e recorded} into the region's open epoch (the
+      epoch advance persists it later), and [repv] may run ahead of the
+      media up to the open epoch.  The sanitizer tracks the deferred
+      front per slot (from [A_persist_deferred]) and suppresses V2/V3/V4
+      for deferral-covered dependences; the epoch clock is shadowed from
+      [A_epoch_close]/[A_epoch_bump].  The strict rule set deliberately
+      ignores deferrals, so a strict sanitizer over a buffered execution
+      flags the unpersisted tail as V2 — the buffered negative control.
     - Elision trust rules: an elided flush means the line was clean, i.e.
       the current version is genuinely durable — the sanitizer syncs both
       models up to it.  An elided fence means nothing was pending — it
@@ -69,13 +84,14 @@
 
 open Mirror_nvm
 
-type violation = V1 | V2 | V3 | V4 | W1
+type violation = V1 | V2 | V3 | V4 | V5 | W1
 
 let class_name = function
   | V1 -> "V1-hot-path-read"
   | V2 -> "V2-unpersisted-dependence"
   | V3 -> "V3-replica-band"
   | V4 -> "V4-cross-thread-persist"
+  | V5 -> "V5-post-recovery-staleness"
   | W1 -> "W1-redundant-persist"
 
 type finding = {
@@ -109,6 +125,14 @@ let violations report =
 type slot_state = {
   mutable strict_pv : int;  (** durable version under the strict model *)
   mutable lenient_pv : int;  (** durable version under the lenient model *)
+  mutable deferred_ver : int;
+      (** newest version recorded into the region's open epoch (buffered
+          persists); the epoch advance will persist it, so the buffered
+          rule set treats dependences up to here as covered *)
+  mutable watch : int;
+      (** rollback watch: the version the last crash rolled this slot back
+          to ([-1]: inactive).  A read above it before a fresh write is a
+          V5 — discarded-epoch state survived recovery. *)
   mutable sl_pair : int;
   mutable sl_trace : Hooks.access list;  (** recent events, newest first *)
   mutable sl_trace_len : int;
@@ -121,6 +145,7 @@ type pair_state = {
 
 type t = {
   seed : int;
+  buffered : bool;  (** validate buffered durable linearizability *)
   max_findings : int;
   trace_depth : int;
   mu : Mutex.t;
@@ -137,19 +162,24 @@ type t = {
   dedup : (violation * int * int, unit) Hashtbl.t;
       (** (class, slot, tid) already reported — counts keep counting *)
   mutable events : int;
+  mutable cur_epoch : int;  (** shadow of the region's open epoch *)
+  mutable durable_epoch : int;  (** shadow of the committed cut *)
   mutable findings_rev : finding list;
   mutable n_findings : int;
   mutable v1 : int;
   mutable v2 : int;
   mutable v3 : int;
   mutable v4 : int;
+  mutable v5 : int;
   mutable w1_flush : int;
   mutable w1_fence : int;
 }
 
-let create ?(seed = 0) ?(max_findings = 64) ?(trace_depth = 16) () =
+let create ?(seed = 0) ?(buffered = false) ?(max_findings = 64)
+    ?(trace_depth = 16) () =
   {
     seed;
+    buffered;
     max_findings;
     trace_depth;
     mu = Mutex.create ();
@@ -160,12 +190,15 @@ let create ?(seed = 0) ?(max_findings = 64) ?(trace_depth = 16) () =
     lenient_pending = Hashtbl.create 16;
     dedup = Hashtbl.create 64;
     events = 0;
+    cur_epoch = 1;
+    durable_epoch = 0;
     findings_rev = [];
     n_findings = 0;
     v1 = 0;
     v2 = 0;
     v3 = 0;
     v4 = 0;
+    v5 = 0;
     w1_flush = 0;
     w1_fence = 0;
   }
@@ -187,6 +220,8 @@ let slot_st t (a : Hooks.access) =
         {
           strict_pv = baseline;
           lenient_pv = baseline;
+          deferred_ver = 0;
+          watch = -1;
           sl_pair = a.a_pair;
           sl_trace = [];
           sl_trace_len = 0;
@@ -220,6 +255,7 @@ let bump t = function
   | V2 -> t.v2 <- t.v2 + 1
   | V3 -> t.v3 <- t.v3 + 1
   | V4 -> t.v4 <- t.v4 + 1
+  | V5 -> t.v5 <- t.v5 + 1
   | W1 -> ()
 
 let emit t cls ~msg ~slot ~pair ~tid ~seq =
@@ -277,6 +313,26 @@ let check_band t p (a : Hooks.access) =
              p.seq_v p.seq_p)
         ~slot:a.a_slot ~pair:a.a_pair ~tid:a.a_tid ~seq:a.a_seq
 
+(* V5: a post-crash read above the version the crash rolled this slot back
+   to, before any fresh write, means state from a discarded (incomplete)
+   epoch survived recovery.  Fresh writes disarm the watch — new versions
+   above it are then legitimate new execution. *)
+let check_watch t s (a : Hooks.access) =
+  if s.watch >= 0 && a.a_seq > s.watch then begin
+    emit t V5
+      ~msg:
+        (Printf.sprintf
+           "post-recovery read observes seq %d but the crash rolled this \
+            slot back to seq %d (durable epoch %d): state from a \
+            discarded epoch survived recovery"
+           a.a_seq s.watch t.durable_epoch)
+      ~slot:a.a_slot ~pair:a.a_pair ~tid:a.a_tid ~seq:a.a_seq;
+    s.watch <- -1
+  end
+
+let disarm_watch s (a : Hooks.access) =
+  if s.watch >= 0 && a.a_seq > s.watch then s.watch <- -1
+
 (* Hot path: one event in O(1).  The mutex only matters under real domains
    (schedsim is single-domain); no code below can raise in normal
    operation, and the explicit unlock avoids a closure allocation per
@@ -292,7 +348,20 @@ let on_access_locked t (a : Hooks.access) =
       let s = slot_st t a in
       record_trace t s a;
       s.lenient_pv <- max s.lenient_pv a.a_seq;
-      s.strict_pv <- max s.strict_pv s.lenient_pv
+      s.strict_pv <- max s.strict_pv s.lenient_pv;
+      (* the rewrite supersedes whatever the crash rolled back to *)
+      s.watch <- -1;
+      s.deferred_ver <- 0
+  | Hooks.A_epoch_close ->
+      (* the advance closed epoch [a_seq]: the region's open epoch moves
+         past it (no slot attached — a_slot is -1) *)
+      t.cur_epoch <- max t.cur_epoch (a.a_seq + 1)
+  | Hooks.A_epoch_bump ->
+      (* durable cut advanced; the deferred records of epochs <= a_seq
+         were flushed and fenced just before, so the per-slot durable
+         shadows already caught up via those A_flush/A_fence events *)
+      t.durable_epoch <- max t.durable_epoch a.a_seq;
+      t.cur_epoch <- max t.cur_epoch (a.a_seq + 1)
   | Hooks.A_fence | Hooks.A_fence_elided -> (
       let strict = strict_of t a.a_tid in
       let commit_strict () =
@@ -360,6 +429,7 @@ let on_access_locked t (a : Hooks.access) =
                 "hot-path read of persistent memory (Slot load outside a \
                  protocol section): Mirror reads only volatile replicas"
               ~slot:a.a_slot ~pair:a.a_pair ~tid:a.a_tid ~seq:a.a_seq;
+          check_watch t s a;
           taint_dep t a.a_tid a.a_slot a.a_seq;
           if a.a_pair >= 0 then begin
             let p = pair_st t a.a_pair in
@@ -367,6 +437,7 @@ let on_access_locked t (a : Hooks.access) =
             check_band t p a
           end
       | Hooks.A_store | Hooks.A_cas true ->
+          disarm_watch s a;
           taint_dep t a.a_tid a.a_slot a.a_seq;
           if a.a_pair >= 0 then begin
             let p = pair_st t a.a_pair in
@@ -375,6 +446,7 @@ let on_access_locked t (a : Hooks.access) =
           end
       | Hooks.A_cas false ->
           (* the witness is a read: the operation's outcome depends on it *)
+          check_watch t s a;
           taint_dep t a.a_tid a.a_slot a.a_seq;
           if a.a_pair >= 0 then begin
             let p = pair_st t a.a_pair in
@@ -382,6 +454,7 @@ let on_access_locked t (a : Hooks.access) =
             check_band t p a
           end
       | Hooks.A_load_repv ->
+          check_watch t s a;
           taint_dep t a.a_tid a.a_slot a.a_seq;
           if a.a_pair >= 0 then begin
             let p = pair_st t a.a_pair in
@@ -389,8 +462,14 @@ let on_access_locked t (a : Hooks.access) =
             check_band t p a
           end
       | Hooks.A_write_repv ->
-          (* Lemma 5.5: repv may only advance to a durable cell *)
-          if a.a_seq > s.lenient_pv then
+          (* Lemma 5.5: repv may only advance to a durable cell.  Under
+             the buffered rule set it weakens to "durable or recorded in
+             the epoch clock" — the advance persists the deferred front
+             before the durable cut moves past it. *)
+          if
+            a.a_seq > s.lenient_pv
+            && not (t.buffered && a.a_seq <= s.deferred_ver)
+          then
             emit t V3
               ~msg:
                 (Printf.sprintf
@@ -398,6 +477,7 @@ let on_access_locked t (a : Hooks.access) =
                     readers could observe un-persisted state"
                    a.a_seq s.lenient_pv)
               ~slot:a.a_slot ~pair:a.a_pair ~tid:a.a_tid ~seq:a.a_seq;
+          disarm_watch s a;
           if a.a_pair >= 0 then begin
             let p = pair_st t a.a_pair in
             p.seq_v <- max p.seq_v a.a_seq;
@@ -419,7 +499,32 @@ let on_access_locked t (a : Hooks.access) =
              genuinely durable under both models *)
           s.lenient_pv <- max s.lenient_pv a.a_seq;
           s.strict_pv <- max s.strict_pv s.lenient_pv
-      | Hooks.A_fence | Hooks.A_fence_elided | Hooks.A_recovery_write ->
+      | Hooks.A_persist_deferred ->
+          (* buffered persist: the version is recorded into the open
+             epoch, not flushed — only the buffered rule set credits it.
+             A record of an already-covered version is exactly what
+             elision would skip. *)
+          if a.a_seq <= max s.lenient_pv s.deferred_ver then begin
+            t.w1_flush <- t.w1_flush + 1;
+            emit t W1
+              ~msg:
+                "redundant deferred persist: version already durable or \
+                 recorded (elidable)"
+              ~slot:a.a_slot ~pair:a.a_pair ~tid:a.a_tid ~seq:a.a_seq
+          end;
+          s.deferred_ver <- max s.deferred_ver a.a_seq
+      | Hooks.A_rollback ->
+          (* crash pruned this buffered slot to the durable-epoch cut:
+             [a_seq] survives (-1: nothing did).  Reset both durable
+             shadows to the survivor — downward, deliberately — drop the
+             deferred front, and arm the V5 watch. *)
+          let survivor = max 0 a.a_seq in
+          s.strict_pv <- survivor;
+          s.lenient_pv <- survivor;
+          s.deferred_ver <- 0;
+          s.watch <- survivor
+      | Hooks.A_fence | Hooks.A_fence_elided | Hooks.A_recovery_write
+      | Hooks.A_epoch_close | Hooks.A_epoch_bump ->
           assert false)
 
 let on_access t a =
@@ -450,6 +555,12 @@ let on_op_locked t (m : Hooks.op_mark) =
           | None -> ()
           | Some s ->
               if seq <= s.strict_pv then ()
+              else if t.buffered && seq <= s.deferred_ver then
+                (* buffered durable linearizability: the dependence is
+                   recorded in the epoch clock; the advance persists it
+                   before the durable cut passes, and losing it to a
+                   crash is bounded staleness, not a violation *)
+                ()
               else if seq <= s.lenient_pv then
                 emit t V4
                   ~msg:
@@ -492,7 +603,7 @@ let report t =
       seed = t.seed;
       events = t.events;
       findings = List.rev t.findings_rev;
-      counts = [ (V1, t.v1); (V2, t.v2); (V3, t.v3); (V4, t.v4) ];
+      counts = [ (V1, t.v1); (V2, t.v2); (V3, t.v3); (V4, t.v4); (V5, t.v5) ];
       w1_flush = t.w1_flush;
       w1_fence = t.w1_fence;
     }

@@ -13,12 +13,21 @@
     - {b V4}: a dependence committed only by another thread's racing
       fence — satisfied under the simulator's per-domain fences, broken
       under hardware per-thread fence semantics;
+    - {b V5}: post-recovery staleness — after a buffered rollback, an
+      operation observes a value newer than the claimed durable epoch
+      (state from a discarded, incomplete epoch survived recovery);
     - {b W1} (warning, not a violation): redundant flushes/fences — the
       operations elision would skip; counters feed elision budgets.
 
+    With [create ~buffered:true] the sanitizer validates {e buffered}
+    durable linearizability: V2/V3/V4 accept dependences recorded into
+    the region's epoch clock but not yet persisted.  The default strict
+    rule set ignores deferrals, so running it over a buffered execution
+    flags the unpersisted tail as V2 — the buffered negative control.
+
     See docs/MODEL.md, "Sanitizer semantics". *)
 
-type violation = V1 | V2 | V3 | V4 | W1
+type violation = V1 | V2 | V3 | V4 | V5 | W1
 
 val class_name : violation -> string
 
@@ -56,12 +65,19 @@ val clean : report -> bool
 
 type t
 
-val create : ?seed:int -> ?max_findings:int -> ?trace_depth:int -> unit -> t
+val create :
+  ?seed:int ->
+  ?buffered:bool ->
+  ?max_findings:int ->
+  ?trace_depth:int ->
+  unit ->
+  t
 (** A fresh sanitizer.  [seed] (default [0]) is recorded in the report so
-    findings name the schedule that produced them.  [max_findings]
-    (default [64]) caps stored findings (class counters keep counting);
-    [trace_depth] (default [16]) bounds the per-slot event trace attached
-    to findings. *)
+    findings name the schedule that produced them.  [buffered] (default
+    [false]) switches to the buffered rule set (see above).
+    [max_findings] (default [64]) caps stored findings (class counters
+    keep counting); [trace_depth] (default [16]) bounds the per-slot
+    event trace attached to findings. *)
 
 val install : t -> (unit -> 'a) -> 'a
 (** Run the callback with the sanitizer attached to the access and

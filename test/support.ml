@@ -119,7 +119,8 @@ let domain_stress ?(threads = 4) ?(ops = 400) ?(range = 16) ?(seed = 3)
       in
       let resp = Atomic.fetch_and_add clock 1 in
       w.Mirror_harness.Durable.log <-
-        { key; kind; inv; resp; ok = Some ok } :: w.Mirror_harness.Durable.log
+        { key; kind; inv; resp; ok = Some ok; epoch = 0 }
+        :: w.Mirror_harness.Durable.log
     done
   in
   let doms = Array.init threads (fun i -> Domain.spawn (body i)) in
@@ -179,7 +180,7 @@ let sched_stress ?(tasks = 3) ?(ops = 12) ?(range = 8) ?(seeds = 40)
         in
         let resp = Atomic.fetch_and_add clock 1 in
         w.Mirror_harness.Durable.log <-
-          { key; kind; inv; resp; ok = Some ok }
+          { key; kind; inv; resp; ok = Some ok; epoch = 0 }
           :: w.Mirror_harness.Durable.log
       done
     in

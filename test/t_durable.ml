@@ -158,7 +158,7 @@ let multi_crash_cycles () =
           | D.K_remove -> S.remove t key
         in
         let resp = Atomic.fetch_and_add clock 1 in
-        w.D.log <- { D.key; kind; inv; resp; ok = Some ok } :: w.D.log;
+        w.D.log <- { D.key; kind; inv; resp; ok = Some ok; epoch = 0 } :: w.D.log;
         w.D.pending <- None
       done
     in

@@ -43,7 +43,7 @@ let manual_scenario ~prim ~(observe : (int * int) list ref option)
           | K_remove -> S.remove t key
         in
         let resp = Atomic.fetch_and_add clock 1 in
-        w.D.log <- { D.key; kind; inv; resp; ok = Some ok } :: w.D.log;
+        w.D.log <- { D.key; kind; inv; resp; ok = Some ok; epoch = 0 } :: w.D.log;
         w.D.pending <- None)
       ops
   in
