@@ -1,5 +1,5 @@
 .PHONY: all build test test-stress bench bench-smoke bench-full examples \
-        mcheck-smoke mcheck-deep psan-smoke clean
+        mcheck-smoke mcheck-deep psan-smoke fmt ci clean
 
 all: build
 
@@ -8,6 +8,16 @@ build:
 
 test:
 	dune runtest
+
+fmt:
+	dune build @fmt
+
+# The full CI gate, runnable locally in one shot: build, unit tests, the
+# budget-enforcing bench smoke, crash-point model checking, the
+# persistency sanitizer, and formatting.  Green here means the required
+# GitHub checks will be green (the workflow jobs run these same targets).
+ci: build test bench-smoke mcheck-smoke psan-smoke fmt
+	@echo "ci: all gates green"
 
 # Nightly soak: the crash-torture tier over real domains, 30 times, so
 # low-probability interleavings get a chance to fire.  Failure logs land
@@ -96,6 +106,16 @@ mcheck-smoke:
 	dune exec bin/mcheck.exe -- --structure list --prim mirror \
 	  --crash-in-recovery --threads 3 --ops 3 --budget 4 --rec-budget 4 \
 	  --trust-partial-recovery --expect-violation
+	@# Line-granular crash enumeration: with 8 slots per simulated cache
+	@# line the placement API packs neighbouring repp fields together,
+	@# flushes coalesce, and a lost line loses all its slots at once —
+	@# every crash point (coalesced-flush windows included) must still
+	@# validate on the multi-field structures.
+	@for ds in list bst skiplist; do \
+	  dune exec bin/mcheck.exe -- --structure $$ds --prim mirror \
+	    --slots-per-line 8 --seeds 3 --threads 4 --ops 10 --budget 200 \
+	    || exit 1; \
+	done
 
 # Nightly-sized: more schedules, bigger workloads, elision on, and deep
 # mode (a crash point before every plain NVMM write as well).

@@ -555,6 +555,14 @@ let run_buffered () =
   print_newline ();
   pts
 
+(* "epoch256" -> Some 256 under prefix "epoch"; shared by the budget-row
+   parsers below *)
+let prefixed prefix s =
+  let n = String.length prefix in
+  if String.length s > n && String.sub s 0 n = prefix then
+    int_of_string_opt (String.sub s n (String.length s - n))
+  else None
+
 (* Buffered-persistence budgets: rows of the form
    buffered,epochN,ds,threadsT,max_fences_per_op,min_fence_reduction in
    bench/budgets.csv gate the buffered panel at epoch length N: the charged
@@ -563,12 +571,6 @@ let run_buffered () =
    discipline (>= 5x fewer fences at epoch length 256), enforced on every
    `make bench-smoke`. *)
 let check_buffered_budgets (pts : F.buffered_point list) budget_file =
-  let prefixed prefix s =
-    let n = String.length prefix in
-    if String.length s > n && String.sub s 0 n = prefix then
-      int_of_string_opt (String.sub s n (String.length s - n))
-    else None
-  in
   let budgets =
     let ic = open_in budget_file in
     let rec go acc =
@@ -621,6 +623,103 @@ let check_buffered_budgets (pts : F.buffered_point list) budget_file =
               ds epoch_len threads p.F.b_fences max_fe p.F.b_fence_reduction
               min_red)
     budgets;
+  !failures = 0
+
+(* -- line panel ---------------------------------------------------------------- *)
+
+(* Cache-line flush coalescing: the insert-only line panel at every
+   slots-per-line setting (or just [1; n] when --slots-per-line pins one).
+   Each structure's slots=1 row is its own baseline, so the reduction
+   column is self-contained.  See Figures.run_line_panel. *)
+let run_line slots_pin =
+  print_endline
+    "=== line panel: cache-line flush coalescing (schedsim, insert-only, \
+     disjoint key stripes)";
+  Printf.printf "%-10s %6s %7s | %9s %12s %9s | %9s %9s\n" "structure" "slots"
+    "ops" "fl/op" "coalesced/op" "fe/op" "base-fl" "reduce";
+  let slots =
+    match slots_pin with
+    | None -> F.line_slots
+    | Some n -> List.sort_uniq compare [ 1; n ]
+  in
+  let pts = F.run_line_panel ~slots () in
+  List.iter
+    (fun p ->
+      Printf.printf "%-10s %6d %7d | %9.4f %12.4f %9.4f | %9.4f %8.2fx\n%!"
+        p.F.lp_ds p.F.lp_slots p.F.lp_ops p.F.lp_flushes p.F.lp_coalesced
+        p.F.lp_fences p.F.lp_baseline_flushes p.F.lp_reduction)
+    pts;
+  print_newline ();
+  pts
+
+(* Line-coalescing budgets: rows of the form line,slotsN,ds,min_reduction
+   in bench/budgets.csv gate the line panel at N slots per line: the
+   slots=1 / slots=N charged-flush ratio must clear the floor.  This is
+   the headline claim of the line map (multi-field inserts coalesce to
+   one flush), enforced on every `make bench-smoke`.  When running under
+   GitHub Actions ($GITHUB_STEP_SUMMARY set) the per-row budget-vs-
+   measured deltas are also appended to the job summary as a markdown
+   table. *)
+let check_line_budgets (pts : F.line_point list) budget_file =
+  let budgets =
+    let ic = open_in budget_file in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      | ln -> (
+          match String.split_on_char ',' (String.trim ln) with
+          | [ "line"; sl; ds; min_red ] -> (
+              match (prefixed "slots" sl, float_of_string_opt min_red) with
+              | Some s, Some red -> go ((s, ds, red) :: acc)
+              | _ -> go acc)
+          | _ -> go acc)
+    in
+    go []
+  in
+  let failures = ref 0 in
+  let summary = ref [] in
+  List.iter
+    (fun (slots, ds, min_red) ->
+      match
+        List.find_opt
+          (fun p -> p.F.lp_ds = ds && p.F.lp_slots = slots)
+          pts
+      with
+      | None -> ()
+      | Some p ->
+          summary := (ds, slots, p.F.lp_reduction, min_red) :: !summary;
+          if p.F.lp_reduction < min_red then begin
+            incr failures;
+            Printf.eprintf
+              "BUDGET EXCEEDED line %s slots=%d flush reduction %.2fx < \
+               %.2fx (%.4f -> %.4f fl/op)\n"
+              ds slots p.F.lp_reduction min_red p.F.lp_baseline_flushes
+              p.F.lp_flushes
+          end
+          else
+            Printf.printf
+              "budget ok       line %s slots=%d flush reduction %.2fx >= \
+               %.2fx (%.4f -> %.4f fl/op)\n"
+              ds slots p.F.lp_reduction min_red p.F.lp_baseline_flushes
+              p.F.lp_flushes)
+    budgets;
+  (match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+  | Some path when !summary <> [] ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc "### Line-coalescing budgets\n\n";
+      output_string oc
+        "| structure | slots/line | measured reduction | budget floor | \
+         delta |\n|---|---|---|---|---|\n";
+      List.iter
+        (fun (ds, slots, measured, floor) ->
+          Printf.fprintf oc "| %s | %d | %.2fx | %.2fx | %+.2f |\n" ds slots
+            measured floor (measured -. floor))
+        (List.rev !summary);
+      output_string oc "\n";
+      close_out oc
+  | _ -> ());
   !failures = 0
 
 (* -- recovery panel ---------------------------------------------------------------- *)
@@ -930,7 +1029,17 @@ let run_micro () =
 
 (* -- command line ----------------------------------------------------------------- *)
 
-let main full smoke panels csv no_micro no_ablation seconds budget =
+let main full smoke panels csv no_micro no_ablation seconds budget
+    slots_per_line =
+  (* flag vocabulary check first: unknown slots-per-line is a usage error
+     (exit 2, same convention as an unknown structure name), not a failed
+     run *)
+  (match slots_per_line with
+  | Some n when not (List.mem n F.line_slots) ->
+      Printf.eprintf "mirror-bench: unknown slots-per-line %d; valid: %s\n" n
+        (String.concat ", " (List.map string_of_int F.line_slots));
+      exit 2
+  | _ -> ());
   let cfg =
     if full then F.full
     else if smoke then
@@ -986,6 +1095,18 @@ let main full smoke panels csv no_micro no_ablation seconds budget =
       close_out oc;
       Printf.printf "buffered rows written to %s\n%!" bfile)
     csv;
+  let line_pts = run_line slots_per_line in
+  Option.iter
+    (fun file ->
+      let lfile = Filename.remove_extension file ^ "_line.csv" in
+      let oc = open_out lfile in
+      output_string oc (F.line_csv_header ^ "\n");
+      List.iter
+        (fun p -> output_string oc (F.line_point_to_csv p ^ "\n"))
+        line_pts;
+      close_out oc;
+      Printf.printf "line rows written to %s\n%!" lfile)
+    csv;
   let recovery_pts = run_recovery smoke in
   Option.iter
     (fun file ->
@@ -1033,8 +1154,14 @@ let main full smoke panels csv no_micro no_ablation seconds budget =
     | None -> true
     | Some file -> check_buffered_budgets buffered_pts file
   in
+  let line_ok =
+    match budget with
+    | None -> true
+    | Some file -> check_line_budgets line_pts file
+  in
   print_endline "done.";
-  if not (budgets_ok && recovery_ok && alloc_ok && buffered_ok) then exit 1
+  if not (budgets_ok && recovery_ok && alloc_ok && buffered_ok && line_ok)
+  then exit 1
 
 open Cmdliner
 
@@ -1077,12 +1204,22 @@ let budget =
            $(docv) (CSV: ds,algo,max_flushes_per_op,max_fences_per_op); exit \
            1 on any regression.")
 
+let slots_per_line =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slots-per-line" ] ~docv:"N"
+        ~doc:
+          "Pin the line panel to $(docv) slots per cache line (plus the \
+           slots=1 baseline).  $(docv) must be one of the panel's sweep \
+           values; anything else exits 2 listing them.")
+
 let cmd =
   let doc = "Regenerate the evaluation figures of the Mirror paper (PLDI'21)." in
   Cmd.v
     (Cmd.info "mirror-bench" ~doc)
     Term.(
       const main $ full $ smoke $ panels $ csv $ no_micro $ no_ablation
-      $ seconds $ budget)
+      $ seconds $ budget $ slots_per_line)
 
 let () = exit (Cmd.eval cmd)

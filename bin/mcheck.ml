@@ -20,13 +20,18 @@ module M = Mirror_mcheck.Mcheck
 let structure_names =
   List.map Mirror_dstruct.Sets.ds_name Mirror_dstruct.Sets.all_ds @ [ "queue" ]
 
+let slots_vocab = Mirror_harness.Figures.line_slots
+
 let list_vocab () =
   Format.printf "structures: %s@." (String.concat " " structure_names);
-  Format.printf "prims: %s@." (String.concat " " Mirror_prim.Prim.all_names)
+  Format.printf "prims: %s@." (String.concat " " Mirror_prim.Prim.all_names);
+  Format.printf "slots-per-line: %s@."
+    (String.concat " " (List.map string_of_int slots_vocab))
 
 let main list_structures structure prim seed seeds budget threads ops range
-    updates elide epoch_len strict_validate deep psan expect_violation replay
-    crash_in_recovery rec_budget trust_partial replay_recovery =
+    updates elide epoch_len slots_per_line strict_validate deep psan
+    expect_violation replay crash_in_recovery rec_budget trust_partial
+    replay_recovery =
   if list_structures then begin
     list_vocab ();
     exit 0
@@ -41,14 +46,19 @@ let main list_structures structure prim seed seeds budget threads ops range
       (String.concat " " Mirror_prim.Prim.all_names);
     exit 2
   end;
+  if not (List.mem slots_per_line slots_vocab) then begin
+    Format.eprintf "unknown slots-per-line %d; valid: %s@." slots_per_line
+      (String.concat " " (List.map string_of_int slots_vocab));
+    exit 2
+  end;
   let scenario =
     match Mirror_dstruct.Sets.ds_of_name structure with
     | Some ds ->
-        M.set_scenario ~ds ~prim ~elide ~epoch_len ~strict_validate ~threads
-          ~ops_per_task:ops ~range ~updates ()
+        M.set_scenario ~ds ~prim ~elide ~epoch_len ~slots_per_line
+          ~strict_validate ~threads ~ops_per_task:ops ~range ~updates ()
     | None ->
-        M.queue_scenario ~prim ~epoch_len ~strict_validate ~threads
-          ~ops_per_task:ops ()
+        M.queue_scenario ~prim ~epoch_len ~slots_per_line ~strict_validate
+          ~threads ~ops_per_task:ops ()
   in
   let found = ref false in
   (* sanitizer pass before any crash enumeration: one crash-free reference
@@ -197,6 +207,16 @@ let epoch_len =
            --discipline buffered); at the default 1 every deferred persist \
            advances the epoch synchronously.")
 
+let slots_per_line =
+  Arg.(
+    value & opt int 1
+    & info [ "slots-per-line" ] ~docv:"N"
+        ~doc:
+          "Slots per simulated cache line (default 1, the slot-granular \
+           model).  Wider lines make crash enumeration line-atomic and \
+           probe coalesced-flush crash points.  $(docv) must be one of the \
+           line panel's sweep values; anything else exits 2 listing them.")
+
 let strict_validate =
   Arg.(
     value & flag
@@ -281,8 +301,8 @@ let cmd =
           schedule and check durable linearizability at each.")
     Term.(
       const main $ list_structures $ structure $ prim $ seed $ seeds $ budget
-      $ threads $ ops $ range $ updates $ elide $ epoch_len $ strict_validate
-      $ deep $ psan $ expect_violation $ replay $ crash_in_recovery
-      $ rec_budget $ trust_partial $ replay_recovery)
+      $ threads $ ops $ range $ updates $ elide $ epoch_len $ slots_per_line
+      $ strict_validate $ deep $ psan $ expect_violation $ replay
+      $ crash_in_recovery $ rec_budget $ trust_partial $ replay_recovery)
 
 let () = exit (Cmd.eval' cmd)

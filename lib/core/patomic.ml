@@ -66,6 +66,10 @@ let announce_repv t op ~seq =
       a_domain = (Domain.self () :> int);
       a_tid = Hooks.tid ();
       a_seq = seq;
+      a_line =
+        (match Slot.line t.repp with
+        | Some l -> Region.line_uid l
+        | None -> -1);
       a_protocol = Hooks.in_protocol ();
     }
 
@@ -80,9 +84,21 @@ let dwcas_v (a : 'a cell Atomic.t) ~(expected : 'a cell) ~(desired : 'a cell) =
   in
   go ()
 
-let make ?(placement = Dram) ?(discipline = Strict) ?(persist = true) region v =
+let make ?(placement = Dram) ?(discipline = Strict) ?(persist = true) ?line
+    region v =
   let c = { v; seq = 0 } in
   let uid = Atomic.fetch_and_add next_uid 1 in
+  (* cache-line placement (line granularity, docs/MODEL.md): strict repp
+     slots are carved from a line — the caller's ([make_near]'s) if given,
+     else a fresh one — so an object's fields can share write-backs.
+     Buffered variables persist through the epoch clock and take no line.
+     On slot-granular regions [place] returns [None] and nothing changes. *)
+  let line =
+    match (discipline, line) with
+    | Buffered, _ -> None
+    | Strict, (Some _ as l) -> l
+    | Strict, None -> Region.place region
+  in
   (* allocation-time copy to NVMM + clwb (paper §4.3.2): billed by the
      substrate via [charge_copy] so elision accounting and the sanitizer's
      event stream see the same make the cost belongs to; the ordering
@@ -90,6 +106,7 @@ let make ?(placement = Dram) ?(discipline = Strict) ?(persist = true) region v =
   let repp =
     Slot.make ~persist ~charge_copy:persist ~pair:uid
       ~buffered:(discipline = Buffered)
+      ?line
       ~seq_of:(fun c -> c.seq)
       region c
   in
@@ -275,6 +292,7 @@ let load_recovery t =
 (* -- introspection (tests, invariant checking) --------------------------- *)
 
 let discipline t = t.discipline
+let line t = Slot.line t.repp
 let seq_v t = (Atomic.get t.repv).seq
 let seq_p t = (Slot.peek t.repp).seq
 let persisted_seq t = Option.map (fun c -> c.seq) (Slot.persisted_value t.repp)

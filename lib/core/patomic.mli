@@ -27,6 +27,7 @@ val make :
   ?placement:placement ->
   ?discipline:discipline ->
   ?persist:bool ->
+  ?line:Mirror_nvm.Region.line ->
   Mirror_nvm.Region.t ->
   'a ->
   'a t
@@ -34,7 +35,11 @@ val make :
     allocator's copy-to-NVMM + write-back (§4.3.2); allocation-time
     persists stay strict even under [Buffered] (off-path, exactly like the
     sharded allocator's metadata persists).  [discipline] defaults to
-    {!Strict}. *)
+    {!Strict}.  [line] carves the persistent replica from a specific cache
+    line ({!Mirror_nvm.Region.place_near}) so an object's fields share
+    write-backs; by default a strict variable claims a fresh line.  On
+    slot-granular regions ([slots_per_line = 1]) and under [Buffered] the
+    parameter is ignored. *)
 
 val load : 'a t -> 'a
 (** Wait-free read of the volatile replica (Figure 5). *)
@@ -62,6 +67,13 @@ val load_recovery : 'a t -> 'a
 (** {1 Introspection (tests, invariant checking)} *)
 
 val discipline : 'a t -> discipline
+
+val line : 'a t -> Mirror_nvm.Region.line option
+(** The cache line the persistent replica was carved from ([None] on
+    slot-granular regions and buffered variables) — pass to {!make} via
+    {!Mirror_nvm.Region.place_near} to co-locate a new field with this
+    one. *)
+
 val seq_v : 'a t -> int
 val seq_p : 'a t -> int
 val persisted_seq : 'a t -> int option

@@ -196,10 +196,12 @@ module Make (P : Mirror_prim.Prim.S) = struct
             let lo, hi =
               if k < l.key then (new_leaf, sr.leaf) else (sr.leaf, new_leaf)
             in
-            let internal =
-              Internal
-                { key = ik; left = P.make (mk_edge lo); right = P.make (mk_edge hi) }
-            in
+            (* carve both child edges from the parent field's cache line:
+               the two allocation write-backs and the CE's flush of
+               [par_field] share one line flush when there is room *)
+            let left = P.make_near sr.par_field (mk_edge lo) in
+            let right = P.make_near left (mk_edge hi) in
+            let internal = Internal { key = ik; left; right } in
             P.persist sr.par_field;
             if P.cas sr.par_field ~expected:sr.par_edge ~desired:(mk_edge internal)
             then true

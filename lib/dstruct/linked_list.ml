@@ -126,8 +126,15 @@ module Make (P : Mirror_prim.Prim.S) = struct
           false
       | _ ->
           Mirror_core.Alloc.count ~fields:1 ();
+          (* place the new node's link on the predecessor field's cache
+             line: the insert's allocation write-back and the CE's flush of
+             [pred_field] then coalesce into one line flush *)
           let node =
-            { key = k; value = v; next = P.make { target = curr; marked = false } }
+            {
+              key = k;
+              value = v;
+              next = P.make_near pred_field { target = curr; marked = false };
+            }
           in
           (* destination write: persist the surrounding field first
              (NVTraverse's flush-the-destination; no-op elsewhere) *)

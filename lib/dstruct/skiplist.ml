@@ -173,15 +173,22 @@ module Make (P : Mirror_prim.Prim.S) = struct
       | _ ->
           let lvl = random_level t in
           Mirror_core.Alloc.count ~fields:lvl ();
-          let node =
-            {
-              key = k;
-              value = v;
-              next =
-                Array.init lvl (fun i ->
-                    P.make { target = succs.(i); marked = false });
-            }
+          (* place the whole tower on the level-0 predecessor's cache
+             line: the tower's allocation write-backs and the CE's flush
+             of [pred_fields.(0)] coalesce while the line has room *)
+          let next0 =
+            P.make_near pred_fields.(0) { target = succs.(0); marked = false }
           in
+          (* chain each level off the previous field, not off [next0]: when
+             the line fills mid-tower the overflow fields then share one
+             fresh line instead of getting a singleton line each (an
+             explicit loop — Array.init's evaluation order is unspecified) *)
+          let next = Array.make lvl next0 in
+          for i = 1 to lvl - 1 do
+            next.(i) <-
+              P.make_near next.(i - 1) { target = succs.(i); marked = false }
+          done;
+          let node = { key = k; value = v; next } in
           P.persist pred_fields.(0);
           if
             not

@@ -739,3 +739,128 @@ let alloc_point_to_csv p =
   Printf.sprintf "%s,%d,%d,%.3f,%.3f,%d,%d,%d,%.4f,%.4f" p.ap_policy
     p.ap_threads p.ap_ops p.ap_mops p.ap_wall_ms p.ap_carves p.ap_remote_frees
     p.ap_drains p.ap_flushes p.ap_fences
+
+(* -- line panel: cache-line coalescing of flushes --------------------------- *)
+
+(** The line-coalescing panel: insert-heavy Mirror workloads at several
+    [slots_per_line] settings.  Insertions allocate one or more repp
+    fields and then flush the destination before the linearizing CAS;
+    with [slots_per_line = 1] (the seed's slot-granular model) every one
+    of those write-backs is a separate charged flush, while with a wider
+    line the [make_near] placements carve the fresh fields from the
+    destination's line and the per-line dirty map coalesces them into a
+    single charged flush ({!Mirror_nvm.Stats} [flush_coalesced] counts
+    the elided ones).  The driver is insert-only over per-fiber disjoint
+    key stripes, so (almost) every operation takes the allocating path
+    and the flushes/op column is dominated by exactly the cost the line
+    map targets.  Counts are exact and deterministic; every structure's
+    slots=1 row doubles as its own baseline, so each wider row carries
+    its flush-reduction ratio. *)
+type line_point = {
+  lp_ds : string;
+  lp_slots : int;  (** region slots_per_line for this row *)
+  lp_ops : int;  (** completed operations, summed over seeds *)
+  lp_flushes : float;  (** charged flushes per op *)
+  lp_coalesced : float;  (** line-coalesced (uncharged) flushes per op *)
+  lp_fences : float;  (** charged fences per op *)
+  lp_baseline_flushes : float;  (** charged flushes per op at slots=1 *)
+  lp_reduction : float;  (** baseline / charged flushes per op *)
+}
+
+(** The slots-per-line sweep of the line panel; also the exact vocabulary
+    the [--slots-per-line] flags of bench/main.exe and bin/mcheck.exe
+    accept (both exit 2 listing it on anything else). *)
+let line_slots = [ 1; 4; 8 ]
+
+(** The three multi-field structures of the line panel: the linked list
+    (one fresh field per insert, chained to the predecessor's line), the
+    external BST (two fresh edge fields per insert) and the skip list
+    (one fresh field per level). *)
+let line_structures = [ "list"; "bst"; "skiplist" ]
+
+let run_line_panel ?(slots = line_slots) ?(threads = 2) ?(ops_per_task = 200)
+    ?(seeds = 4) () : line_point list =
+  let ds_of = function
+    | "list" -> Sets.List_ds
+    | "bst" -> Sets.Bst_ds
+    | "skiplist" -> Sets.Skiplist_ds
+    | s -> invalid_arg ("run_line_panel: unknown structure " ^ s)
+  in
+  (* bulk load over disjoint per-fiber stripes: fiber [i] owns keys
+     [i * ops_per_task ..< (i+1) * ops_per_task] and inserts them in
+     ascending order, so every insert allocates AND its predecessor is
+     (almost always) the fiber's previous insert — the chained-placement
+     pattern [make_near] targets, where the fresh field lands on the
+     still-open line of the node the CE will flush anyway.  Shuffled keys
+     would scatter predecessors onto long-full lines and measure line
+     fragmentation instead of the placement API; the seed still varies
+     the scheduler interleaving across fibers.  The default fiber count
+     is deliberately low: every fiber timeshares the one simulated core,
+     so any fiber's fence drains the whole pending set and closes the
+     other fibers' coalescing windows mid-insert — an artifact of the
+     shared persist path that per-core hardware would not have, and one
+     that scales with the fiber count, not with the placement quality
+     this panel gates. *)
+  let driver ds region _seed =
+    let (module S : Sets.SET) =
+      Sets.make ds (Mirror_prim.Prim.by_name region "mirror")
+    in
+    let range = threads * ops_per_task in
+    let t = S.create ~capacity:range () in
+    List.init threads (fun i () ->
+        for j = 0 to ops_per_task - 1 do
+          let k = (i * ops_per_task) + j in
+          ignore (S.insert t k k)
+        done)
+  in
+  let measure name slots_per_line =
+    let ds = ds_of name in
+    let acc = Mirror_nvm.Stats.zero () in
+    let ops = ref 0 in
+    for seed = 1 to seeds do
+      let region =
+        Mirror_nvm.Region.create ~track_slots:false ~slots_per_line ()
+      in
+      let tasks = driver ds region seed in
+      Mirror_nvm.Stats.reset_all ();
+      let o = Mirror_schedsim.Sched.run ~seed tasks in
+      if not o.Mirror_schedsim.Sched.completed then
+        failwith "run_line_panel: schedsim run did not complete";
+      Mirror_nvm.Stats.add ~into:acc (Mirror_nvm.Stats.total ());
+      ops := !ops + (threads * ops_per_task)
+    done;
+    (max 1 !ops, acc)
+  in
+  List.concat_map
+    (fun name ->
+      let bops, base = measure name 1 in
+      let baseline =
+        float_of_int base.Mirror_nvm.Stats.flush /. float_of_int bops
+      in
+      List.map
+        (fun slots ->
+          let ops, st = if slots = 1 then (bops, base) else measure name slots in
+          let fops = float_of_int ops in
+          let flushes = float_of_int st.Mirror_nvm.Stats.flush /. fops in
+          {
+            lp_ds = name;
+            lp_slots = slots;
+            lp_ops = ops;
+            lp_flushes = flushes;
+            lp_coalesced =
+              float_of_int st.Mirror_nvm.Stats.flush_coalesced /. fops;
+            lp_fences = float_of_int st.Mirror_nvm.Stats.fence /. fops;
+            lp_baseline_flushes = baseline;
+            lp_reduction =
+              (if flushes > 0. then baseline /. flushes else Float.infinity);
+          })
+        slots)
+    line_structures
+
+let line_csv_header =
+  "ds,slots_per_line,ops,flushes_per_op,coalesced_per_op,fences_per_op,baseline_flushes_per_op,flush_reduction"
+
+let line_point_to_csv p =
+  Printf.sprintf "%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f" p.lp_ds p.lp_slots
+    p.lp_ops p.lp_flushes p.lp_coalesced p.lp_fences p.lp_baseline_flushes
+    p.lp_reduction

@@ -135,6 +135,57 @@ val run_buffered_panel :
 val buffered_csv_header : string
 val buffered_point_to_csv : buffered_point -> string
 
+(** {1 The line panel}
+
+    Cache-line coalescing of flushes: insert-only Mirror workloads over
+    disjoint per-fiber key stripes (so every operation takes the
+    allocating path), swept over {!line_slots} slots per simulated cache
+    line.  At slots=1 — the seed's slot-granular model and every
+    region's default — each repp write-back is a separate charged
+    flush; wider lines let [make_near] placement carve fresh fields
+    from the destination's line so the per-line dirty map coalesces
+    them into one charged flush.  Counts are exact and deterministic;
+    bench/budgets.csv commits floors on [lp_reduction] at 8 slots per
+    line via its [line,slots8,...] rows. *)
+
+type line_point = {
+  lp_ds : string;
+  lp_slots : int;  (** region slots_per_line for this row *)
+  lp_ops : int;  (** completed operations, summed over seeds *)
+  lp_flushes : float;  (** charged flushes per op *)
+  lp_coalesced : float;  (** line-coalesced (uncharged) flushes per op *)
+  lp_fences : float;  (** charged fences per op *)
+  lp_baseline_flushes : float;  (** charged flushes per op at slots=1 *)
+  lp_reduction : float;  (** baseline / charged flushes per op *)
+}
+
+val line_slots : int list
+(** [[1; 4; 8]] — the sweep, and the exact vocabulary the
+    [--slots-per-line] flags of bench/main.exe and bin/mcheck.exe
+    accept (both exit 2 listing it on anything else). *)
+
+val line_structures : string list
+(** ["list"; "bst"; "skiplist"] — the multi-field-insert structures. *)
+
+val run_line_panel :
+  ?slots:int list ->
+  ?threads:int ->
+  ?ops_per_task:int ->
+  ?seeds:int ->
+  unit ->
+  line_point list
+(** One row per (structure, slots-per-line) in {!line_structures} x
+    [slots] order (defaults: the {!line_slots} sweep, 2 fibers, 200
+    inserts per fiber, 4 seeds — the fiber count is deliberately low
+    because every fiber timeshares one simulated core, so each fence
+    drains the whole pending set and fragments the other fibers'
+    coalescing windows).  Each structure's slots=1 measurement is
+    always taken and reused as the [lp_baseline_flushes] of all its
+    rows, whether or not [1] is in [slots]. *)
+
+val line_csv_header : string
+val line_point_to_csv : line_point -> string
+
 (** {1 Recovery panel} *)
 
 type recovery_point = {

@@ -84,6 +84,14 @@ let crash_points ?(deep = false) (events : Hooks.persist_event array) :
         | Flush_elided | Fence_elided ->
             elided_open := true;
             true
+        | Flush_coalesced ->
+            (* line granularity: the flush was absorbed by an in-flight
+               line write-back.  Always probed — crashing here must lose
+               the whole line atomically — and it opens the elision
+               window: the coalescing claim (durability rides the pending
+               write-back) is first testable at the next plain write *)
+            elided_open := true;
+            true
         | Write ->
             if deep then true
             else if !elided_open then begin
@@ -495,11 +503,14 @@ let check_recovery ?(deep = false) ?(budget = max_int)
 (* -- the standard set-workload scenario ------------------------------------------ *)
 
 let set_scenario ~ds ~prim ?(policy = Mirror_nvm.Region.Adversarial)
-    ?(elide = false) ?(epoch_len = 1) ?(strict_validate = false) ~threads
-    ~ops_per_task ~range ~updates () : scenario =
+    ?(elide = false) ?(epoch_len = 1) ?(slots_per_line = 1)
+    ?(strict_validate = false) ~threads ~ops_per_task ~range ~updates () :
+    scenario =
  fun ~seed ->
   let buffered = prim = "buffered" in
-  let region = Mirror_nvm.Region.create ~seed ~elide ~epoch_len () in
+  let region =
+    Mirror_nvm.Region.create ~seed ~elide ~epoch_len ~slots_per_line ()
+  in
   let pack =
     Mirror_dstruct.Sets.make ds (Mirror_prim.Prim.by_name region prim)
   in
@@ -559,11 +570,13 @@ let set_scenario ~ds ~prim ?(policy = Mirror_nvm.Region.Adversarial)
      removal per dequeue that was in flight when the plug was pulled (a
      cut dequeue may have durably swung the head before dying). *)
 let queue_scenario ~prim ?(policy = Mirror_nvm.Region.Adversarial)
-    ?(epoch_len = 1) ?(strict_validate = false) ~threads ~ops_per_task () :
-    scenario =
+    ?(epoch_len = 1) ?(slots_per_line = 1) ?(strict_validate = false)
+    ~threads ~ops_per_task () : scenario =
  fun ~seed ->
   let buffered = prim = "buffered" in
-  let region = Mirror_nvm.Region.create ~seed ~epoch_len () in
+  let region =
+    Mirror_nvm.Region.create ~seed ~epoch_len ~slots_per_line ()
+  in
   let (module P : Mirror_prim.Prim.S) = Mirror_prim.Prim.by_name region prim in
   let module Q = Mirror_dstruct.Queue.Make (P) in
   let q = Q.create () in

@@ -187,6 +187,7 @@ val set_scenario :
   ?policy:Mirror_nvm.Region.crash_policy ->
   ?elide:bool ->
   ?epoch_len:int ->
+  ?slots_per_line:int ->
   ?strict_validate:bool ->
   threads:int ->
   ops_per_task:int ->
@@ -198,7 +199,10 @@ val set_scenario :
     [threads x ops_per_task] operations on keys [< range] with [updates]%
     updates, persistence strategy [prim] (see {!Mirror_prim.Prim.by_name}),
     crash policy [policy] (default adversarial: only fenced write-backs
-    survive), flush/fence elision per [elide] (default off).
+    survive), flush/fence elision per [elide] (default off), and
+    [slots_per_line] slots per simulated cache line (default 1, i.e. the
+    historical slot-granular model; larger values make crash enumeration
+    line-atomic and probe {!Mirror_nvm.Hooks.Flush_coalesced} points).
 
     When [prim] is ["buffered"], the region's epoch clock runs at
     [epoch_len] (default 1) deferred persists per epoch, the prefill is
@@ -213,6 +217,7 @@ val queue_scenario :
   prim:string ->
   ?policy:Mirror_nvm.Region.crash_policy ->
   ?epoch_len:int ->
+  ?slots_per_line:int ->
   ?strict_validate:bool ->
   threads:int ->
   ops_per_task:int ->

@@ -38,6 +38,10 @@ type persist_event =
       (** the durable-epoch slot is about to advance (buffered mode): the
           window between an epoch advance's fence and this bump is a
           first-class crash surface *)
+  | Flush_coalesced
+      (** a [clwb] absorbed by an in-flight cache line (line mode): a
+          line-mate was already flushed and not yet fenced, so this flush
+          rides its pending write-back instead of issuing a new one *)
 
 let event_name = function
   | Flush -> "flush"
@@ -47,6 +51,7 @@ let event_name = function
   | Dwcas -> "dwcas"
   | Write -> "write"
   | Epoch_bump -> "epoch-bump"
+  | Flush_coalesced -> "flush-coalesced"
 
 let persist_ref : (persist_event -> unit) ref = ref (fun _ -> ())
 
@@ -97,6 +102,9 @@ type access_op =
   | A_cas of bool  (** DWCAS on a persistent slot (success?) *)
   | A_flush  (** charged [clwb] of a slot *)
   | A_flush_elided  (** elided [clwb] (clean line, elision mode on) *)
+  | A_flush_coalesced
+      (** [clwb] absorbed by an in-flight cache line (line mode): durability
+          rides the line-mate's pending write-back *)
   | A_fence  (** charged [sfence] on a region *)
   | A_fence_elided  (** elided [sfence] (nothing pending, elision on) *)
   | A_load_repv  (** read of a Mirror variable's volatile replica *)
@@ -124,6 +132,7 @@ type access = {
   a_domain : int;  (** OS domain of the access *)
   a_tid : int;  (** logical thread ({!tid}) of the access *)
   a_seq : int;  (** slot version / cell seq involved; [-1] n/a *)
+  a_line : int;  (** cache-line uid of the slot; [-1] when lineless *)
   a_protocol : bool;  (** inside a sanctioned protocol section *)
 }
 
@@ -134,6 +143,7 @@ let access_op_name = function
   | A_cas false -> "cas-fail"
   | A_flush -> "flush"
   | A_flush_elided -> "flush-elided"
+  | A_flush_coalesced -> "flush-coalesced"
   | A_fence -> "fence"
   | A_fence_elided -> "fence-elided"
   | A_load_repv -> "load-repv"

@@ -23,6 +23,9 @@ type persist_event =
       (** the durable-epoch slot is about to advance (buffered mode) —
           crashing here exposes the window between an epoch advance's
           fence and its durable-epoch bump *)
+  | Flush_coalesced
+      (** a [clwb] absorbed by an in-flight cache line (line mode): the
+          flush rides a line-mate's pending write-back *)
 
 val event_name : persist_event -> string
 val persist_ref : (persist_event -> unit) ref
@@ -59,6 +62,8 @@ type access_op =
   | A_cas of bool
   | A_flush
   | A_flush_elided
+  | A_flush_coalesced
+      (** [clwb] absorbed by an in-flight cache line (line mode) *)
   | A_fence
   | A_fence_elided
   | A_load_repv
@@ -86,6 +91,7 @@ type access = {
   a_domain : int;  (** OS domain of the access *)
   a_tid : int;  (** logical thread ({!tid}) of the access *)
   a_seq : int;  (** slot version / cell seq involved; [-1] n/a *)
+  a_line : int;  (** cache-line uid of the slot; [-1] when lineless *)
   a_protocol : bool;  (** inside a sanctioned protocol section *)
 }
 

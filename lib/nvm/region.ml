@@ -43,8 +43,31 @@ type deferred = {
   d_flush : unit -> unit;  (** charged flush of the snapshot *)
 }
 
+(** A simulated cache line: slots carved from the same line share their
+    write-back and their crash fate.  [l_members] holds one persist closure
+    per member slot (the line's write-back persists all of them);
+    [l_resets] holds the members' crash resets, applied with a single
+    shared survival draw so a lost line loses every member together.
+    Members are appended at slot-allocation time and never removed. *)
+type line = {
+  l_uid : int;
+  mutable l_filled : int;  (** slots carved so far (≤ [slots_per_line]) *)
+  mutable l_members : (unit -> unit) list;
+  mutable l_resets : (persist_first:bool -> unit) list;
+}
+
 type t = {
   id : int;  (** key into each domain's pending-set table *)
+  slots_per_line : int;
+      (** slots carved per simulated cache line; [1] = the historical
+          slot-granular model (no lines exist, nothing coalesces) *)
+  mutable lines : line list;
+      (** every line carved from this region, for crash processing (gated
+          on [track_slots], like [slot_resets]) *)
+  mutable domain_inflight : (int, unit) Hashtbl.t list;
+      (** every domain's in-flight line set for this region (line uids
+          flushed but not yet fenced by that domain), for crash clearing;
+          each table is only mutated by its owning domain *)
   mutable slot_resets : (persist_first:bool -> unit) list;
       (** one closure per registered persistent slot: optionally persist the
           current (cache) value, then reset the cache view to the persisted
@@ -102,12 +125,18 @@ type t = {
 }
 
 let next_id = Atomic.make 0
+let next_line_uid = Atomic.make 0
 
 let create ?(track_slots = true) ?(runtime_evict_prob = 0.0) ?(seed = 0xC0FFEE)
-    ?(elide = false) ?(epoch_len = 1) () =
+    ?(elide = false) ?(epoch_len = 1) ?(slots_per_line = 1) () =
   if epoch_len < 1 then invalid_arg "Mirror_nvm.Region.create: epoch_len < 1";
+  if slots_per_line < 1 then
+    invalid_arg "Mirror_nvm.Region.create: slots_per_line < 1";
   {
     id = Atomic.fetch_and_add next_id 1;
+    slots_per_line;
+    lines = [];
+    domain_inflight = [];
     slot_resets = [];
     volatile_invalidators = [];
     mutex = Mutex.create ();
@@ -134,6 +163,7 @@ let crash_count t = t.crashes
 let set_elide t b = t.elide <- b
 let elision t = t.elide
 let id t = t.id
+let slots_per_line t = t.slots_per_line
 
 (* Fences have no slot identity; announce with the region and the acting
    thread/domain (gated on [Hooks.access_on] at the call site). *)
@@ -147,6 +177,7 @@ let announce_fence t op =
       a_domain = (Domain.self () :> int);
       a_tid = Hooks.tid ();
       a_seq = -1;
+      a_line = -1;
       a_protocol = Hooks.in_protocol ();
     }
 
@@ -196,6 +227,93 @@ let add_pending t thunk =
   let r = my_pending t in
   r := thunk :: !r
 
+(* -- cache lines ---------------------------------------------------------- *)
+
+(* The calling domain's in-flight line set (line uids flushed but not yet
+   fenced by this domain), same private-table idiom as [pending_key].
+   Per-domain because a fence only orders the issuing CPU's own [clwb]s:
+   a line another domain flushed is not in flight for us. *)
+let inflight_key : (int, (int, unit) Hashtbl.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let my_inflight t =
+  let tbl = Domain.DLS.get inflight_key in
+  match Hashtbl.find_opt tbl t.id with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.add tbl t.id h;
+      Mutex.lock t.mutex;
+      t.domain_inflight <- h :: t.domain_inflight;
+      Mutex.unlock t.mutex;
+      h
+
+(** Carve a fresh cache line and claim its first slot.  [None] when the
+    region is slot-granular ([slots_per_line = 1]): no lines exist, every
+    path below degenerates to the historical behavior. *)
+let place t =
+  if t.slots_per_line <= 1 then None
+  else begin
+    let l =
+      {
+        l_uid = Atomic.fetch_and_add next_line_uid 1;
+        l_filled = 1;
+        l_members = [];
+        l_resets = [];
+      }
+    in
+    if t.track_slots then begin
+      Mutex.lock t.mutex;
+      t.lines <- l :: t.lines;
+      Mutex.unlock t.mutex
+    end;
+    Some l
+  end
+
+(** Claim a slot on [near]'s line if it has room, else carve a fresh line —
+    the allocator's co-location primitive: an object's fields placed near
+    each other share one write-back. *)
+let place_near t near =
+  match near with
+  | Some l when t.slots_per_line > 1 ->
+      Mutex.lock t.mutex;
+      let ok = l.l_filled < t.slots_per_line in
+      if ok then l.l_filled <- l.l_filled + 1;
+      Mutex.unlock t.mutex;
+      if ok then Some l else place t
+  | _ -> place t
+
+let line_uid l = l.l_uid
+
+(** Register a member slot with its line: [persist] write-backs the slot's
+    current content (called when the line's pending flush drains or the
+    line is evicted); [reset] is its crash reset, applied line-atomically.
+    Resets are gated on [track_slots] like {!register_slot}. *)
+let line_add_member t l ~persist ~reset =
+  Mutex.lock t.mutex;
+  l.l_members <- persist :: l.l_members;
+  if t.track_slots then l.l_resets <- reset :: l.l_resets;
+  Mutex.unlock t.mutex
+
+(** Write back every member's current content — what draining the line's
+    pending flush (or a runtime eviction of the line) does. *)
+let line_persist_members l = List.iter (fun p -> p ()) l.l_members
+
+(** Is [l] in flight for the calling domain (flushed, not yet fenced)?  A
+    flush of an in-flight line is absorbed by the pending write-back. *)
+let line_in_flight t l = Hashtbl.mem (my_inflight t) l.l_uid
+
+(** Mark [l] flushed by the calling domain: the first mark records one
+    pending write-back covering the whole line (member content captured
+    when the fence drains — a legal write-back instant, and the latest
+    one); subsequent marks before the fence are the coalescing no-op. *)
+let mark_line_flushed t l =
+  let h = my_inflight t in
+  if not (Hashtbl.mem h l.l_uid) then begin
+    Hashtbl.add h l.l_uid ();
+    add_pending t (fun () -> line_persist_members l)
+  end
+
 (** [sfence]: all write-backs recorded by the calling domain are now
     guaranteed persistent.  With elision on, a fence that has nothing
     pending is a free no-op ([fence_elided]). *)
@@ -214,6 +332,7 @@ let fence t =
     Latency.fence ();
     let thunks = !r in
     r := [];
+    if t.slots_per_line > 1 then Hashtbl.reset (my_inflight t);
     List.iter (fun f -> f ()) thunks;
     if !Hooks.access_on then announce_fence t Hooks.A_fence;
     Hooks.yield ()
@@ -274,6 +393,7 @@ let announce_epoch t op seq =
       a_domain = (Domain.self () :> int);
       a_tid = Hooks.tid ();
       a_seq = seq;
+      a_line = -1;
       a_protocol = Hooks.in_protocol ();
     }
 
@@ -402,6 +522,8 @@ let crash ?(policy = Adversarial) t =
     | Eviction p -> Random.State.float t.rng 1.0 < p
   in
   List.iter (fun f -> if survive () then f ()) thunks;
+  (* 1a. in-flight line marks die with the cache *)
+  List.iter Hashtbl.reset t.domain_inflight;
   (* 1b. buffered epochs: the deferred sets die with the cache, and the
      epoch clock restarts just past the durable slot.  Writes from epochs
      the durable slot does not cover are pruned by the slot resets below
@@ -410,11 +532,18 @@ let crash ?(policy = Adversarial) t =
   t.cur_count <- 0;
   t.cur_epoch <- t.durable_epoch + 1;
   Atomic.set t.advancing false;
-  (* 2. dirty unflushed lines: lost, unless eviction got them *)
+  (* 2. dirty unflushed lines: lost, unless eviction got them.  Slots on a
+     shared cache line share one survival draw — a lost line loses all its
+     slots together, a surviving eviction keeps them together. *)
   let persist_first = match policy with Adversarial -> false | Eviction _ -> true in
   List.iter
     (fun reset -> reset ~persist_first:(persist_first && survive ()))
     t.slot_resets;
+  List.iter
+    (fun l ->
+      let s = persist_first && survive () in
+      List.iter (fun reset -> reset ~persist_first:s) l.l_resets)
+    t.lines;
   (* 3. volatile memory (DRAM replicas, caches) is gone — including the
      knowledge that a recovery may have been underway *)
   List.iter (fun f -> f ()) t.volatile_invalidators;

@@ -21,12 +21,19 @@ type crash_policy =
 
 type t
 
+type line
+(** A simulated cache line (exists only when [slots_per_line > 1]): slots
+    carved from the same line share their write-back — a flush of a line
+    already in flight is absorbed ([flush_coalesced]) — and their crash
+    fate (one survival draw for all members). *)
+
 val create :
   ?track_slots:bool ->
   ?runtime_evict_prob:float ->
   ?seed:int ->
   ?elide:bool ->
   ?epoch_len:int ->
+  ?slots_per_line:int ->
   unit ->
   t
 (** [track_slots] (default [true]): register slots for crash processing.
@@ -35,8 +42,10 @@ val create :
     off preserves the exact charged costs of the paper's transformations.
     [epoch_len] (default [1]): deferred persists per buffered epoch; at [1]
     every buffered persist advances immediately, reproducing strict Mirror
-    persist counts exactly.
-    @raise Invalid_argument when [epoch_len < 1]. *)
+    persist counts exactly.  [slots_per_line] (default [1]): slots carved
+    per simulated cache line; at the default the region is slot-granular
+    and behaves bit-identically to the historical model.
+    @raise Invalid_argument when [epoch_len < 1] or [slots_per_line < 1]. *)
 
 val is_down : t -> bool
 (** True between a {!crash} and {!mark_recovered}. *)
@@ -62,6 +71,51 @@ val register_volatile : t -> (unit -> unit) -> unit
 val add_pending : t -> (unit -> unit) -> unit
 (** Record a write-back thunk in the calling domain's pending set (used by
     {!Slot.flush}). *)
+
+(** {1 Cache lines}
+
+    The line map (line granularity, see docs/MODEL.md): when the region is
+    created with [slots_per_line > 1], the allocator can carve several
+    slots from one simulated cache line.  Line-mates share dirty/clean
+    state for write-back purposes — flushing a line that a previous,
+    un-fenced flush already put in flight is free — and share one crash
+    fate.  At the default [slots_per_line = 1] no lines exist and every
+    function below degenerates ([place] returns [None]). *)
+
+val slots_per_line : t -> int
+
+val place : t -> line option
+(** Carve a fresh line and claim its first slot ([None] when the region is
+    slot-granular). *)
+
+val place_near : t -> line option -> line option
+(** Claim a slot on the given line if it has room, else carve a fresh
+    line — the co-location primitive: an object's fields placed near each
+    other share one write-back. *)
+
+val line_uid : line -> int
+
+val line_add_member :
+  t -> line -> persist:(unit -> unit) -> reset:(persist_first:bool -> unit)
+  -> unit
+(** Register a member slot: [persist] write-backs its current content when
+    the line's pending flush drains (or the line is evicted); [reset] is
+    its crash reset, applied line-atomically with one shared survival
+    draw.  Reset registration is gated on [track_slots]. *)
+
+val line_persist_members : line -> unit
+(** Write back every member's current content (runtime eviction of the
+    whole line). *)
+
+val line_in_flight : t -> line -> bool
+(** Is the line in flight for the calling domain (flushed, not yet
+    fenced)? *)
+
+val mark_line_flushed : t -> line -> unit
+(** Mark the line flushed by the calling domain.  The first mark records
+    one pending write-back covering the whole line; later marks before the
+    fence are the coalescing no-op.  {!fence} and {!crash} clear the
+    in-flight marks. *)
 
 val fence : t -> unit
 (** [sfence]: commit the calling domain's pending write-backs.  Charges the

@@ -23,6 +23,10 @@ type 'a t = {
   region : Region.t;
   uid : int;  (** global location identity, for access-event attribution *)
   pair : int;  (** owning Mirror pair uid, [-1] when not a replica *)
+  line : Region.line option;
+      (** the cache line this slot was carved from ([None] on slot-granular
+          regions and on buffered slots): line-mates share write-backs —
+          a flush of a line already in flight coalesces — and crash fate *)
   buffered : bool;
       (** buffered discipline: writes tag the open epoch and persists are
           recorded into the epoch's deferred set instead of flushing *)
@@ -64,6 +68,8 @@ let announce t op ~seq =
       a_domain = (Domain.self () :> int);
       a_tid = Hooks.tid ();
       a_seq = seq;
+      a_line =
+        (match t.line with Some l -> Region.line_uid l | None -> -1);
       a_protocol = Hooks.in_protocol ();
     }
 
@@ -88,13 +94,17 @@ let newest_persisted t =
   match Atomic.get t.persisted with [] -> None | p :: _ -> Some p
 
 let make ?(persist = false) ?(charge_copy = false) ?(pair = -1)
-    ?(buffered = false) ?seq_of region v =
+    ?(buffered = false) ?line ?seq_of region v =
+  (* buffered slots persist through the epoch clock, never through line
+     write-backs: they take no line *)
+  let line = if buffered then None else line in
   let e = { v; ver = 0; ep = 0 } in
   let t =
     {
       region;
       uid = Atomic.fetch_and_add next_uid 1;
       pair;
+      line;
       buffered;
       seq_of;
       current = Atomic.make e;
@@ -102,25 +112,41 @@ let make ?(persist = false) ?(charge_copy = false) ?(pair = -1)
       lost = Atomic.make false;
     }
   in
-  Region.register_slot region (fun ~persist_first ->
-      if persist_first then persist_monotone t (Atomic.get t.current);
-      (* the durable cut: entries from epochs the durable slot does not
-         cover are discarded even if they physically reached the media —
-         they may be part of an inconsistent (torn-epoch) state *)
-      let de = Region.durable_epoch region in
-      let hist = Atomic.get t.persisted in
-      let rolled_back = List.exists (fun p -> p.ep > de) hist in
-      match List.filter (fun p -> p.ep <= de) hist with
-      | [] ->
-          Atomic.set t.persisted [];
-          Atomic.set t.lost true;
-          if rolled_back && !Hooks.access_on then
-            announce t Hooks.A_rollback ~seq:(-1)
-      | p :: _ ->
-          Atomic.set t.persisted [ p ];
-          Atomic.set t.current p;
-          if rolled_back && !Hooks.access_on then
-            announce t Hooks.A_rollback ~seq:(entry_seq t p));
+  let reset ~persist_first =
+    if persist_first then persist_monotone t (Atomic.get t.current);
+    (* the durable cut: entries from epochs the durable slot does not
+       cover are discarded even if they physically reached the media —
+       they may be part of an inconsistent (torn-epoch) state *)
+    let de = Region.durable_epoch region in
+    let hist = Atomic.get t.persisted in
+    let rolled_back = List.exists (fun p -> p.ep > de) hist in
+    match List.filter (fun p -> p.ep <= de) hist with
+    | [] ->
+        Atomic.set t.persisted [];
+        Atomic.set t.lost true;
+        if rolled_back && !Hooks.access_on then
+          announce t Hooks.A_rollback ~seq:(-1)
+    | p :: _ ->
+        Atomic.set t.persisted [ p ];
+        Atomic.set t.current p;
+        if rolled_back && !Hooks.access_on then
+          announce t Hooks.A_rollback ~seq:(entry_seq t p)
+  in
+  (match line with
+  | None -> Region.register_slot region reset
+  | Some l ->
+      (* line membership: the line's write-back persists this slot's
+         current content; its crash reset shares the line's survival draw *)
+      Region.line_add_member region l
+        ~persist:(fun () -> persist_monotone t (Atomic.get t.current))
+        ~reset);
+  let coalesced_birth =
+    charge_copy && persist
+    &&
+    match line with
+    | Some l -> Region.line_in_flight region l
+    | None -> false
+  in
   if charge_copy && persist then begin
     (* allocation-time copy to NVMM + clwb: the caller initialised this
        line durably, so bill the write and write-back here in the
@@ -131,11 +157,22 @@ let make ?(persist = false) ?(charge_copy = false) ?(pair = -1)
        beyond the make itself. *)
     let s = Stats.get () in
     s.Stats.nvm_write <- s.Stats.nvm_write + 1;
-    s.Stats.flush <- s.Stats.flush + 1;
     Latency.nvm_write ();
-    Latency.flush ()
+    if coalesced_birth then
+      (* the birth [clwb] is absorbed by the line-mate's pending
+         write-back: bill a coalesced flush instead of a charged one *)
+      s.Stats.flush_coalesced <- s.Stats.flush_coalesced + 1
+    else begin
+      s.Stats.flush <- s.Stats.flush + 1;
+      Latency.flush ();
+      match line with
+      | Some l -> Region.mark_line_flushed region l
+      | None -> ()
+    end
   end;
   if !Hooks.access_on then announce t (Hooks.A_make persist) ~seq:(entry_seq t e);
+  if coalesced_birth && !Hooks.access_on then
+    announce t Hooks.A_flush_coalesced ~seq:(entry_seq t e);
   t
 
 let check t =
@@ -169,7 +206,10 @@ let store t v =
     let e = { v; ver = cur.ver + 1; ep = write_epoch t } in
     if Atomic.compare_and_set t.current cur e then begin
       if !Hooks.access_on then announce t Hooks.A_store ~seq:(entry_seq t e);
-      Region.maybe_evict t.region (fun () -> persist_monotone t e)
+      Region.maybe_evict t.region (fun () ->
+          match t.line with
+          | Some l -> Region.line_persist_members l
+          | None -> persist_monotone t e)
     end
     else go ()
   in
@@ -193,7 +233,10 @@ let cas_pred t ~(expect : 'a -> bool) ~(desired : 'a) : bool * 'a =
       if Atomic.compare_and_set t.current cur e then begin
         if !Hooks.access_on then
           announce t (Hooks.A_cas true) ~seq:(entry_seq t e);
-        Region.maybe_evict t.region (fun () -> persist_monotone t e);
+        Region.maybe_evict t.region (fun () ->
+            match t.line with
+            | Some l -> Region.line_persist_members l
+            | None -> persist_monotone t e);
         (true, cur.v)
       end
       else go ()
@@ -238,18 +281,44 @@ let flush t =
     Hooks.persist_point Hooks.Flush_elided;
     let s = Stats.get () in
     s.Stats.flush_elided <- s.Stats.flush_elided + 1;
+    (* keep the line's in-flight state identical to the un-elided run (the
+       charged flush below would have marked it): the mark only ever
+       persists *more* at the fence, which a real cache may do anyway *)
+    (match t.line with
+    | Some l -> Region.mark_line_flushed t.region l
+    | None -> ());
     if !Hooks.access_on then
       announce t Hooks.A_flush_elided ~seq:(entry_seq t (Atomic.get t.current))
   end
-  else begin
-    Hooks.persist_point Hooks.Flush;
-    let s = Stats.get () in
-    s.Stats.flush <- s.Stats.flush + 1;
-    Latency.flush ();
-    let snapshot = Atomic.get t.current in
-    Region.add_pending t.region (fun () -> persist_monotone t snapshot);
-    if !Hooks.access_on then announce t Hooks.A_flush ~seq:(entry_seq t snapshot)
-  end
+  else
+    match t.line with
+    | Some l when Region.line_in_flight t.region l ->
+        (* the line is already in flight for this domain: this [clwb] is
+           absorbed by the pending write-back (which captures member
+           content when the fence drains — at or after this instant) *)
+        Hooks.persist_point Hooks.Flush_coalesced;
+        let s = Stats.get () in
+        s.Stats.flush_coalesced <- s.Stats.flush_coalesced + 1;
+        if !Hooks.access_on then
+          announce t Hooks.A_flush_coalesced
+            ~seq:(entry_seq t (Atomic.get t.current))
+    | Some l ->
+        Hooks.persist_point Hooks.Flush;
+        let s = Stats.get () in
+        s.Stats.flush <- s.Stats.flush + 1;
+        Latency.flush ();
+        Region.mark_line_flushed t.region l;
+        if !Hooks.access_on then
+          announce t Hooks.A_flush ~seq:(entry_seq t (Atomic.get t.current))
+    | None ->
+        Hooks.persist_point Hooks.Flush;
+        let s = Stats.get () in
+        s.Stats.flush <- s.Stats.flush + 1;
+        Latency.flush ();
+        let snapshot = Atomic.get t.current in
+        Region.add_pending t.region (fun () -> persist_monotone t snapshot);
+        if !Hooks.access_on then
+          announce t Hooks.A_flush ~seq:(entry_seq t snapshot)
 
 (* The epoch advancer's flush of a deferred snapshot: the charged-cost
    twin of {!flush}, but over the snapshot captured at record time (a
@@ -334,3 +403,4 @@ let is_lost t = Atomic.get t.lost
 let region t = t.region
 let uid t = t.uid
 let pair t = t.pair
+let line t = t.line

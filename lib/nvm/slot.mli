@@ -15,6 +15,7 @@ val make :
   ?charge_copy:bool ->
   ?pair:int ->
   ?buffered:bool ->
+  ?line:Region.line ->
   ?seq_of:('a -> int) ->
   Region.t ->
   'a ->
@@ -25,9 +26,14 @@ val make :
     the allocation-time copy to NVMM as one write + one flush in the
     substrate's {!Stats}/{!Latency} accounting — callers that model "the
     allocator wrote and wrote back this line before handing it out" use
-    this instead of mutating {!Stats} behind the substrate's back.  [pair]
-    (default [-1]) records the uid of the Mirror variable this slot is the
-    persistent replica of, for access-event attribution.  [seq_of] extracts
+    this instead of mutating {!Stats} behind the substrate's back.  When
+    the birth line is already in flight the birth write-back coalesces:
+    it is billed as {!Stats.t.flush_coalesced} and rides the pending
+    line flush.  [pair] (default [-1]) records the uid of the Mirror
+    variable this slot is the persistent replica of, for access-event
+    attribution.  [line] carves the slot from a cache line obtained via
+    {!Region.place}/{!Region.place_near}: line-mates share write-backs
+    and crash fate (ignored on buffered slots).  [seq_of] extracts
     the value-sequence number announced on access events (Mirror passes the
     cell's seq so replica events share one namespace); the default is the
     slot's internal line version.  [buffered] (default [false]) puts the
@@ -53,7 +59,10 @@ val flush : 'a t -> unit
 (** [clwb]: record a write-back of the line's current content; guaranteed
     durable only after the next {!Region.fence}, possibly earlier.  When the
     region's elision mode is on ({!Region.elision}) and the line is clean,
-    this is a free no-op counted as {!Stats.t.flush_elided}. *)
+    this is a free no-op counted as {!Stats.t.flush_elided}.  On a slot
+    carved from a shared cache line whose line is already in flight for
+    the calling domain, the flush is absorbed by the pending write-back:
+    billed as {!Stats.t.flush_coalesced}, no latency charge. *)
 
 val persist_deferred : 'a t -> unit
 (** Buffered persist: record the line's current content into the region's
@@ -97,3 +106,7 @@ val uid : 'a t -> int
 
 val pair : 'a t -> int
 (** Owning Mirror pair uid ([-1] when the slot is not a replica). *)
+
+val line : 'a t -> Region.line option
+(** The cache line this slot was carved from ([None] on slot-granular
+    regions and buffered slots). *)

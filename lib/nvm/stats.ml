@@ -22,6 +22,9 @@ type t = {
   mutable fence : int;
   mutable flush_elided : int;  (** flushes skipped: the line was clean *)
   mutable fence_elided : int;  (** fences skipped: nothing pending *)
+  mutable flush_coalesced : int;
+      (** flushes absorbed by an in-flight line: a line-mate was already
+          flushed and not yet fenced, so this flush shares its write-back *)
   mutable help : int;  (** Mirror helping-path executions *)
   mutable cas_retry : int;  (** protocol-level retries *)
   mutable alloc : int;
@@ -55,6 +58,7 @@ let zero () =
     fence = 0;
     flush_elided = 0;
     fence_elided = 0;
+    flush_coalesced = 0;
     help = 0;
     cas_retry = 0;
     alloc = 0;
@@ -83,6 +87,7 @@ let add ~into:a b =
   a.fence <- a.fence + b.fence;
   a.flush_elided <- a.flush_elided + b.flush_elided;
   a.fence_elided <- a.fence_elided + b.fence_elided;
+  a.flush_coalesced <- a.flush_coalesced + b.flush_coalesced;
   a.help <- a.help + b.help;
   a.cas_retry <- a.cas_retry + b.cas_retry;
   a.alloc <- a.alloc + b.alloc;
@@ -110,6 +115,7 @@ let clear t =
   t.fence <- 0;
   t.flush_elided <- 0;
   t.fence_elided <- 0;
+  t.flush_coalesced <- 0;
   t.help <- 0;
   t.cas_retry <- 0;
   t.alloc <- 0;
@@ -158,11 +164,12 @@ let reset_all () =
 let pp ppf t =
   Format.fprintf ppf
     "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d) flush=%d fence=%d \
-     elided(fl=%d fe=%d) help=%d retry=%d alloc=%d reclaim=%d arena(carve=%d \
-     rfree=%d drain=%d) rec(marked=%d swept=%d steals=%d mark_ns=%d \
-     sweep_ns=%d) epoch(adv=%d fence=%d defer=%d)"
+     elided(fl=%d fe=%d co=%d) help=%d retry=%d alloc=%d reclaim=%d \
+     arena(carve=%d rfree=%d drain=%d) rec(marked=%d swept=%d steals=%d \
+     mark_ns=%d sweep_ns=%d) epoch(adv=%d fence=%d defer=%d)"
     t.dram_read t.dram_write t.dram_cas t.nvm_read t.nvm_write t.nvm_cas
-    t.flush t.fence t.flush_elided t.fence_elided t.help t.cas_retry t.alloc
+    t.flush t.fence t.flush_elided t.fence_elided t.flush_coalesced t.help
+    t.cas_retry t.alloc
     t.reclaim t.alloc_carve t.alloc_remote_free t.alloc_remote_drain
     t.rec_marked t.rec_swept t.rec_steals t.rec_mark_ns t.rec_sweep_ns
     t.epoch_advance t.fence_batched t.writes_deferred

@@ -18,6 +18,8 @@ type t = {
   mutable fence : int;
   mutable flush_elided : int;
   mutable fence_elided : int;
+  mutable flush_coalesced : int;
+      (** flushes absorbed by an in-flight cache line (line mode) *)
   mutable help : int;
   mutable cas_retry : int;
   mutable alloc : int;

@@ -161,15 +161,26 @@ let mk_arena a_id =
     a_frees = 0;
   }
 
+(* Pack an array of words onto consecutive simulated cache lines
+   ([Region.place_near] chaining): adjacent offsets share a line, exactly
+   like real memory, so a multi-word object carved from consecutive words
+   shares its write-backs.  On slot-granular regions this is the identity. *)
+let packed_slots region n v =
+  let cursor = ref None in
+  Array.init n (fun _ ->
+      let l = Region.place_near region !cursor in
+      cursor := l;
+      Slot.make ~persist:true ?line:l region v)
+
 let create ?(words = 1 lsl 16) ?(policy = Sharded) region =
   let arena_tab =
     match policy with Sharded -> [||] | Global_lock -> [| mk_arena 0 |]
   in
   {
     (* word 0 is reserved so that offset 0 can mean null *)
-    words = Array.init words (fun _ -> Slot.make ~persist:true region 0);
-    roots = Array.init num_roots (fun _ -> Slot.make ~persist:true region 0);
-    seams = Array.init num_segments (fun _ -> Slot.make ~persist:true region 0);
+    words = packed_slots region words 0;
+    roots = packed_slots region num_roots 0;
+    seams = packed_slots region num_segments 0;
     region;
     capacity = words;
     seg_len = max 1 (words / num_segments);
@@ -882,9 +893,12 @@ let last_recovery t = t.last_recovery
     blocks land in the shared pool (arenas re-form on first use). *)
 let remap t =
   let copy_slots arr =
+    let cursor = ref None in
     Array.map
       (fun w ->
-        Slot.make ~persist:true t.region
+        let l = Region.place_near t.region !cursor in
+        cursor := l;
+        Slot.make ~persist:true ?line:l t.region
           (Option.value ~default:0 (Slot.persisted_value w)))
       arr
   in

@@ -32,6 +32,13 @@ module type S = sig
   (** Allocate a field of a freshly allocated object (persisted at
       allocation time where the strategy requires it). *)
 
+  val make_near : 'b t -> 'a -> 'a t
+  (** Like {!make}, but ask the allocator to carve the new field from the
+      same cache line as [near]'s persistent state when there is room
+      ({!Mirror_nvm.Region.place_near}), so the two share one write-back.
+      Equal to {!make} for strategies without line placement and on
+      slot-granular regions. *)
+
   val load : 'a t -> 'a
   (** Load in the critical phase of an operation (at its destination). *)
 
@@ -92,6 +99,7 @@ module Volatile_dram (R : REGION) : S = struct
   type 'a t = 'a Atomic.t
 
   let make v = Atomic.make v
+  let make_near _ v = make v
 
   let load t =
     Hooks.yield ();
@@ -138,6 +146,7 @@ module Volatile_nvmm (R : REGION) : S = struct
      flushed: this variant is *not* crash-consistent (it is the paper's
      non-durable baseline running from NVMM, and our negative control). *)
   let make v = Slot.make ~persist:true region v
+  let make_near _ v = make v
   let load t = Slot.load t
   let load_t = load
   let store t v = Slot.store t v
@@ -166,6 +175,8 @@ module Izraelevitz (R : REGION) : S = struct
   let make v =
     charge_alloc_field ();
     Slot.make ~persist:true region v
+
+  let make_near _ v = make v
 
   (* read: load; flush; fence *)
   let load t =
@@ -216,6 +227,8 @@ module Nvtraverse (R : REGION) : S = struct
   let make v =
     charge_alloc_field ();
     Slot.make ~persist:true region v
+
+  let make_near _ v = make v
 
   (* traversal loads are free — the transformation's whole point *)
   let load_t t = Slot.load t
@@ -271,6 +284,19 @@ end) : S = struct
   let make v =
     Mirror_core.Patomic.make ~placement:C.placement ~discipline:C.discipline
       ~persist:true region v
+
+  (* co-locate the new field with [near]'s persistent replica: on
+     line-granular regions the fields then share one write-back, turning a
+     multi-field insert's N flushes into 1 (docs/MODEL.md, "Line
+     granularity") *)
+  let make_near near v =
+    match C.discipline with
+    | Mirror_core.Patomic.Buffered -> make v
+    | Mirror_core.Patomic.Strict ->
+        Mirror_core.Patomic.make ~placement:C.placement
+          ~discipline:C.discipline ~persist:true
+          ?line:(Region.place_near region (Mirror_core.Patomic.line near))
+          region v
 
   let load t = Mirror_core.Patomic.load t
   let load_t = load

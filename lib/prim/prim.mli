@@ -23,6 +23,13 @@ module type S = sig
   (** Allocate a field of a freshly allocated object (persisted at
       allocation time where the strategy requires it). *)
 
+  val make_near : 'b t -> 'a -> 'a t
+  (** Like {!make}, but carve the new field from the same cache line as
+      [near]'s persistent state when there is room
+      ({!Mirror_nvm.Region.place_near}), so the two share one write-back.
+      Equal to {!make} for strategies without line placement and on
+      slot-granular regions. *)
+
   val load : 'a t -> 'a
   (** Load in the critical phase of an operation (at its destination). *)
 

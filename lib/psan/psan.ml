@@ -44,12 +44,14 @@
       rollback event arms a per-slot watch with the surviving version;
       any read above it before a fresh write trips the check.
     - {b W1} (warning tier, not a violation): redundant persisting
-      operations — a charged flush of an already-durable version, or a
-      charged fence that commits nothing new.  These are exactly the
-      operations flush/fence elision would skip, so the counters feed
-      elision budgets ({!report}'s [w1_flush]/[w1_fence] match the
-      [flush_elided]/[fence_elided] stats of the same schedule run with
-      elision on).
+      operations — a charged flush of an already-durable version, a flush
+      of a cache line already in flight (line mode: the coalescing layer
+      absorbs it), or a charged fence that commits nothing new.  These are
+      exactly the operations the elision and line-coalescing layers would
+      absorb, so the counters feed their budgets ({!report}'s
+      [w1_flush]/[w1_fence] match the [flush_elided + flush_coalesced] /
+      [fence_elided] stats of the same schedule run with elision on, at
+      any [slots_per_line] — pinned by test/t_line.ml).
 
     {2 Soundness notes}
 
@@ -125,6 +127,10 @@ let violations report =
 type slot_state = {
   mutable strict_pv : int;  (** durable version under the strict model *)
   mutable lenient_pv : int;  (** durable version under the lenient model *)
+  mutable cur_ver : int;
+      (** newest version any event revealed — what a line drain would
+          capture for this slot at a fence (line mode) *)
+  mutable sl_line : int;  (** cache-line uid; [-1] when lineless *)
   mutable deferred_ver : int;
       (** newest version recorded into the region's open epoch (buffered
           persists); the epoch advance will persist it, so the buffered
@@ -159,6 +165,12 @@ type t = {
       (** tid -> (slot, seq) flushes not yet fenced by that thread *)
   lenient_pending : (int, (int * int) list ref) Hashtbl.t;
       (** domain -> (slot, seq) flushes not yet fenced by that domain *)
+  line_inflight : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** domain -> cache-line uids with a write-back in flight (any flush
+          of the line since the domain's last fence, charged, coalesced or
+          elided — all of them record the line's one pending write-back in
+          the region, so the next fence is never elidable and its drain
+          captures every member's newest content) *)
   dedup : (violation * int * int, unit) Hashtbl.t;
       (** (class, slot, tid) already reported — counts keep counting *)
   mutable events : int;
@@ -188,6 +200,7 @@ let create ?(seed = 0) ?(buffered = false) ?(max_findings = 64)
     taint = Hashtbl.create 16;
     strict_pending = Hashtbl.create 16;
     lenient_pending = Hashtbl.create 16;
+    line_inflight = Hashtbl.create 16;
     dedup = Hashtbl.create 64;
     events = 0;
     cur_epoch = 1;
@@ -220,6 +233,8 @@ let slot_st t (a : Hooks.access) =
         {
           strict_pv = baseline;
           lenient_pv = baseline;
+          cur_ver = max 0 a.a_seq;
+          sl_line = a.a_line;
           deferred_ver = 0;
           watch = -1;
           sl_pair = a.a_pair;
@@ -249,6 +264,26 @@ let tbl_of master key mk =
 let taint_of t tid = tbl_of t.taint tid (fun () -> Hashtbl.create 16)
 let strict_of t tid = tbl_of t.strict_pending tid (fun () -> ref [])
 let lenient_of t dom = tbl_of t.lenient_pending dom (fun () -> ref [])
+let inflight_of t dom = tbl_of t.line_inflight dom (fun () -> Hashtbl.create 8)
+
+(* Fence-time line drain: the region's pending line write-backs capture
+   member content when they drain, so every slot on an in-flight line has
+   its newest revealed version committed — including line-mates that were
+   written after the line went in flight and never individually flushed.
+   Lenient model only: on per-thread hardware semantics a foreign thread's
+   absorbed [clwb] carries no strict guarantee, and Mirror never depends
+   on drain capture anyway (the protocol flushes its destination
+   explicitly), so the conservative strict shadow cannot false-positive. *)
+let drain_lines t dom =
+  let infl = inflight_of t dom in
+  if Hashtbl.length infl > 0 then begin
+    Hashtbl.iter
+      (fun _ s ->
+        if s.sl_line >= 0 && Hashtbl.mem infl s.sl_line then
+          s.lenient_pv <- max s.lenient_pv s.cur_ver)
+      t.slots;
+    Hashtbl.reset infl
+  end
 
 let bump t = function
   | V1 -> t.v1 <- t.v1 + 1
@@ -377,14 +412,18 @@ let on_access_locked t (a : Hooks.access) =
       | Hooks.A_fence ->
           let lenient = lenient_of t a.a_domain in
           (* W1: a charged fence that commits nothing new is exactly one
-             elision would skip (vacuously true when nothing is pending) *)
+             elision would skip (vacuously true when nothing is pending).
+             An in-flight cache line always defeats it: even an elided
+             flush records the line's one pending write-back, so the
+             elision layer would keep this fence. *)
           let redundant =
-            List.for_all
-              (fun (slot, seq) ->
-                match Hashtbl.find_opt t.slots slot with
-                | Some s -> seq <= s.lenient_pv
-                | None -> true)
-              !lenient
+            Hashtbl.length (inflight_of t a.a_domain) = 0
+            && List.for_all
+                 (fun (slot, seq) ->
+                   match Hashtbl.find_opt t.slots slot with
+                   | Some s -> seq <= s.lenient_pv
+                   | None -> true)
+                 !lenient
           in
           if redundant then begin
             t.w1_fence <- t.w1_fence + 1;
@@ -398,6 +437,7 @@ let on_access_locked t (a : Hooks.access) =
               | None -> ())
             !lenient;
           lenient := [];
+          drain_lines t a.a_domain;
           commit_strict ()
       | _ ->
           (* elided fence: nothing pending in the domain; it is still the
@@ -410,11 +450,14 @@ let on_access_locked t (a : Hooks.access) =
               | None -> ())
             !lenient;
           lenient := [];
+          drain_lines t a.a_domain;
           commit_strict ())
   | _ -> (
       let s = slot_st t a in
       record_trace t s a;
       if a.a_pair >= 0 then s.sl_pair <- a.a_pair;
+      s.cur_ver <- max s.cur_ver a.a_seq;
+      if a.a_line >= 0 then s.sl_line <- a.a_line;
       match a.a_op with
       | Hooks.A_make _ ->
           if a.a_pair >= 0 then begin
@@ -493,12 +536,35 @@ let on_access_locked t (a : Hooks.access) =
           let strict = strict_of t a.a_tid in
           strict := (a.a_slot, a.a_seq) :: !strict;
           let lenient = lenient_of t a.a_domain in
-          lenient := (a.a_slot, a.a_seq) :: !lenient
+          lenient := (a.a_slot, a.a_seq) :: !lenient;
+          if a.a_line >= 0 then
+            Hashtbl.replace (inflight_of t a.a_domain) a.a_line ()
+      | Hooks.A_flush_coalesced ->
+          (* the generalized W1: the slot's cache line is already in
+             flight for this domain, so the flush is redundant whatever
+             the version — line-aware hardware (or the coalescing layer)
+             absorbs it.  Durability-wise it behaves exactly like a
+             charged flush: the announced version rides the line's pending
+             write-back and commits at the next fence. *)
+          t.w1_flush <- t.w1_flush + 1;
+          emit t W1
+            ~msg:"redundant flush: cache line already in flight (coalesced)"
+            ~slot:a.a_slot ~pair:a.a_pair ~tid:a.a_tid ~seq:a.a_seq;
+          let strict = strict_of t a.a_tid in
+          strict := (a.a_slot, a.a_seq) :: !strict;
+          let lenient = lenient_of t a.a_domain in
+          lenient := (a.a_slot, a.a_seq) :: !lenient;
+          if a.a_line >= 0 then
+            Hashtbl.replace (inflight_of t a.a_domain) a.a_line ()
       | Hooks.A_flush_elided ->
           (* trust rule: the line was clean, so the announced version is
-             genuinely durable under both models *)
+             genuinely durable under both models.  In line mode the elided
+             flush still records the line's pending write-back, keeping
+             the in-flight state identical to the un-elided run. *)
           s.lenient_pv <- max s.lenient_pv a.a_seq;
-          s.strict_pv <- max s.strict_pv s.lenient_pv
+          s.strict_pv <- max s.strict_pv s.lenient_pv;
+          if a.a_line >= 0 then
+            Hashtbl.replace (inflight_of t a.a_domain) a.a_line ()
       | Hooks.A_persist_deferred ->
           (* buffered persist: the version is recorded into the open
              epoch, not flushed — only the buffered rule set credits it.
