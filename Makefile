@@ -1,5 +1,11 @@
 .PHONY: all build test test-stress bench bench-smoke bench-full examples \
-        mcheck-smoke mcheck-deep psan-smoke fmt ci clean
+        mcheck-smoke mcheck-deep psan-smoke lint lint-strict fmt ci clean
+
+# Every generated CSV (bench smoke/full panels, psan counters, mlint
+# counters) lands under this one directory — override with
+# `make ARTIFACTS=... <target>`.  CI uploads the directory wholesale;
+# nothing generated may sit untracked in the repo root.
+ARTIFACTS ?= _artifacts
 
 all: build
 
@@ -16,7 +22,7 @@ fmt:
 # budget-enforcing bench smoke, crash-point model checking, the
 # persistency sanitizer, and formatting.  Green here means the required
 # GitHub checks will be green (the workflow jobs run these same targets).
-ci: build test bench-smoke mcheck-smoke psan-smoke fmt
+ci: build test lint bench-smoke mcheck-smoke psan-smoke fmt
 	@echo "ci: all gates green"
 
 # Nightly soak: the crash-torture tier over real domains, 30 times, so
@@ -53,11 +59,13 @@ bench:
 # (bench_smoke_elision/recovery/alloc/buffered.csv) land next to the main
 # CSV for CI to archive.
 bench-smoke:
+	@mkdir -p $(ARTIFACTS)
 	dune exec bench/main.exe -- --smoke --no-micro --no-ablation \
-	  --csv bench_smoke.csv --budget bench/budgets.csv
+	  --csv $(ARTIFACTS)/bench_smoke.csv --budget bench/budgets.csv
 
 bench-full:
-	dune exec bench/main.exe -- --full --csv bench_results.csv
+	@mkdir -p $(ARTIFACTS)
+	dune exec bench/main.exe -- --full --csv $(ARTIFACTS)/bench_results.csv
 
 # Crash-point model checking, CI-sized: every persist-relevant crash point
 # of 5 recorded schedules per (structure, mirror variant) pair, plus a
@@ -139,8 +147,25 @@ mcheck-deep:
 # must stay within 3x of the unsanitized one, and the W1 redundant-persist
 # counters land in psan_lint.csv for CI to archive next to the bench CSV.
 psan-smoke:
+	@mkdir -p $(ARTIFACTS)
 	dune exec test/main.exe -- test psan
-	dune exec bin/psan_smoke.exe -- --csv psan_lint.csv
+	dune exec bin/psan_smoke.exe -- --csv $(ARTIFACTS)/psan_lint.csv
+
+# Static persistency-discipline gate (<5 s): every .ml under lib/, bin/
+# and examples/ through the mlint rules (L1-L6 errors, W2 warning), with
+# the committed baseline as the only accepted debt.  Per-rule counters
+# land in mlint.csv for CI to archive next to psan_lint.csv.
+lint: build
+	@mkdir -p $(ARTIFACTS)
+	dune exec bin/mlint.exe -- --root . --baseline mlint_baseline.csv \
+	  --csv $(ARTIFACTS)/mlint.csv
+
+# Nightly tier: warnings-as-errors (W2 included) and stale baseline rows
+# fail too.
+lint-strict: build
+	@mkdir -p $(ARTIFACTS)
+	dune exec bin/mlint.exe -- --root . --baseline mlint_baseline.csv \
+	  --csv $(ARTIFACTS)/mlint.csv --strict
 
 examples:
 	dune exec examples/quickstart.exe

@@ -34,20 +34,24 @@ module Make (P : Mirror_prim.Prim.S) = struct
   let mk_edge child = { child; flag = false; tag = false }
 
   let create () =
+    (* each internal's two edge fields share a cache line: one write-back
+       covers the pair when the sentinel spine is first persisted *)
     let s =
+      let left = P.make (mk_edge (Leaf { key = inf1; value = None })) in
       Internal
         {
           key = inf1;
-          left = P.make (mk_edge (Leaf { key = inf1; value = None }));
-          right = P.make (mk_edge (Leaf { key = inf1; value = None }));
+          left;
+          right = P.make_near left (mk_edge (Leaf { key = inf1; value = None }));
         }
     in
     let root =
+      let left = P.make (mk_edge s) in
       Internal
         {
           key = inf2;
-          left = P.make (mk_edge s);
-          right = P.make (mk_edge (Leaf { key = inf2; value = None }));
+          left;
+          right = P.make_near left (mk_edge (Leaf { key = inf2; value = None }));
         }
     in
     { root; ebr = Mirror_core.Ebr.create () }

@@ -15,7 +15,8 @@ module Make (P : Mirror_prim.Prim.S) = struct
 
   let create () =
     let dummy = { value = None; next = P.make None } in
-    { head = P.make dummy; tail = P.make dummy }
+    let head = P.make dummy in
+    { head; tail = P.make_near head dummy }
 
   let enqueue t v =
     let node = { value = Some v; next = P.make None } in
@@ -28,11 +29,17 @@ module Make (P : Mirror_prim.Prim.S) = struct
         | None ->
             if P.cas last.next ~expected:None ~desired:(Some node) then
               (* linearized; swing the tail (ok to fail, others help) *)
-              ignore (P.cas t.tail ~expected:last ~desired:node)
+              (ignore (P.cas t.tail ~expected:last ~desired:node)
+              [@mlint.allow
+                L4 "helping CAS: a failed tail swing means another enqueuer \
+                    already helped the tail forward"])
             else attempt ()
         | Some n ->
             (* help a lagging tail, then retry *)
-            ignore (P.cas t.tail ~expected:last ~desired:n);
+            (ignore (P.cas t.tail ~expected:last ~desired:n)
+            [@mlint.allow
+              L4 "helping CAS: a failed tail swing means another enqueuer \
+                  already helped the tail forward"]);
             attempt ()
       end
       else attempt ()
@@ -48,7 +55,10 @@ module Make (P : Mirror_prim.Prim.S) = struct
         match next with
         | None -> None
         | Some n ->
-            ignore (P.cas t.tail ~expected:last ~desired:n);
+            (ignore (P.cas t.tail ~expected:last ~desired:n)
+            [@mlint.allow
+              L4 "helping CAS: a failed tail swing means another dequeuer \
+                  already helped the tail forward"]);
             dequeue t
       else
         match next with

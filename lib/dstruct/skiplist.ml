@@ -64,10 +64,19 @@ module Make (P : Mirror_prim.Prim.S) = struct
       let pred_links = Array.make max_level dummy in
       let succs : 'v node option array = Array.make max_level None in
       let rec down lv (arr : 'v link P.t array) =
-        if lv < 0 then true
+        if lv < 0 then
+          (true
+          [@mlint.allow
+            L3 "internal success flag of the snapshot helper, not a \
+                client-visible decision: the callers persist the deciding \
+                links themselves"])
         else
           let rec walk (arr : 'v link P.t array) (l : 'v link) =
-            if l.marked then false
+            if l.marked then
+              (false
+              [@mlint.allow
+                L3 "internal restart signal (re-walk from the head), not a \
+                    client-visible decision"])
               (* The node we descended into from the level above was deleted
                  at this level while we walked: its frozen, marked link box
                  must never be returned as a CAS witness — an insert CASing
@@ -85,7 +94,11 @@ module Make (P : Mirror_prim.Prim.S) = struct
                     if lv = 0 then Mirror_core.Ebr.retire t.ebr (fun () -> ());
                     walk arr repl
                   end
-                  else false
+                  else
+                    (false
+                    [@mlint.allow
+                      L3 "internal restart signal after a lost unlink race, \
+                          not a client-visible decision"])
                 end
                 else if curr.key < k then walk curr.next cl
                 else finish arr l (Some curr)
@@ -208,9 +221,12 @@ module Make (P : Mirror_prim.Prim.S) = struct
           link_upper node lvl (i + 1) pred_fields pred_links succs
         else if not (same_target l.target succs.(i)) then begin
           (* refresh the node's own forward pointer first *)
-          ignore
-            (P.cas node.next.(i) ~expected:l
-               ~desired:{ target = succs.(i); marked = false });
+          (ignore
+             (P.cas node.next.(i) ~expected:l
+                ~desired:{ target = succs.(i); marked = false })
+          [@mlint.allow
+            L4 "outcome is irrelevant: the recursive call re-reads the \
+                pointer and retries either way"]);
           link_upper node lvl i pred_fields pred_links succs
         end
         else if
@@ -346,7 +362,11 @@ module Make (P : Mirror_prim.Prim.S) = struct
   let min_binding t =
     let rec walk (l : 'v link) =
       match l.target with
-      | None -> None
+      | None ->
+          (None
+          [@mlint.allow
+            L3 "quiesced inspection (no Ebr enter/exit): no concurrent \
+                unpersisted unlink can decide the verdict"])
       | Some n ->
           let nl = P.load n.next.(0) in
           if nl.marked then walk nl else Some (n.key, n.value)

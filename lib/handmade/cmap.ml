@@ -7,6 +7,8 @@
     DRAM replica) and writes serialize per stripe — which is exactly what
     Figure 6(m)/(n) isolates against Mirror's lock-free hash table. *)
 
+[@@@mlint.allow substrate "hand-made baseline: manages NVMM lines directly"]
+
 open Mirror_nvm
 
 module Core = struct

@@ -17,6 +17,8 @@
     by walking the persisted links from [head] (exactly the paper's
     recovery), so lagging-tail write-backs are never needed. *)
 
+[@@@mlint.allow substrate "hand-made baseline: manages NVMM lines directly"]
+
 open Mirror_nvm
 
 type 'v node = {

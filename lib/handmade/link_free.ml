@@ -18,6 +18,8 @@
       the deciding node's line is still dirty, flush + fence it before
       answering. *)
 
+[@@@mlint.allow substrate "hand-made baseline: manages NVMM lines directly"]
+
 open Mirror_nvm
 
 module Core = struct

@@ -17,6 +17,8 @@
       on a not-yet-persisted update, flush + fence that pnode (the dirtiness
       check models SOFT's volatile pstate bits). *)
 
+[@@@mlint.allow substrate "hand-made baseline: manages NVMM lines directly"]
+
 open Mirror_nvm
 
 module Core = struct

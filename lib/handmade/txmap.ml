@@ -20,6 +20,8 @@
     lock-free Mirror primitive deliberately does not provide (see
     examples/counters.ml). *)
 
+[@@@mlint.allow substrate "hand-made baseline: manages NVMM lines directly"]
+
 open Mirror_nvm
 
 type op = Put of int * int | Del of int

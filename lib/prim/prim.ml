@@ -20,6 +20,8 @@
     hardware CAS on a word: store immediates (ints, constant constructors)
     or compare heap values by identity. *)
 
+[@@@mlint.allow substrate "the strategies implement Prim.S on the substrate"]
+
 open Mirror_nvm
 
 module type S = sig
