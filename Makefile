@@ -1,5 +1,6 @@
 .PHONY: all build test test-stress bench bench-smoke bench-full examples \
-        mcheck-smoke mcheck-deep psan-smoke lint lint-strict fmt ci clean
+        mcheck-smoke mcheck-deep litmus-smoke litmus-deep psan-smoke \
+        lint lint-strict fmt ci clean
 
 # Every generated CSV (bench smoke/full panels, psan counters, mlint
 # counters) lands under this one directory — override with
@@ -22,7 +23,7 @@ fmt:
 # budget-enforcing bench smoke, crash-point model checking, the
 # persistency sanitizer, and formatting.  Green here means the required
 # GitHub checks will be green (the workflow jobs run these same targets).
-ci: build test lint bench-smoke mcheck-smoke psan-smoke fmt
+ci: build test lint bench-smoke mcheck-smoke litmus-smoke psan-smoke fmt
 	@echo "ci: all gates green"
 
 # Nightly soak: the crash-torture tier over real domains, 30 times, so
@@ -124,6 +125,20 @@ mcheck-smoke:
 	    --slots-per-line 8 --seeds 3 --threads 4 --ops 10 --budget 200 \
 	    || exit 1; \
 	done
+
+# The persistency litmus suite, run to full sleep-set-DPOR exhaustion:
+# every test's live and durable outcome sets must match its pinned
+# expectation exactly, and the orig-nvmm negative controls must reach
+# their forbidden durable state.  The per-test explored/pruned table
+# lands in litmus.csv for CI to render and archive.
+litmus-smoke:
+	@mkdir -p $(ARTIFACTS)
+	dune exec bin/litmus.exe -- --csv $(ARTIFACTS)/litmus.csv
+
+# Nightly tier: the 3-thread sweep on top of the default suite.
+litmus-deep:
+	@mkdir -p $(ARTIFACTS)
+	dune exec bin/litmus.exe -- --deep --csv $(ARTIFACTS)/litmus_deep.csv
 
 # Nightly-sized: more schedules, bigger workloads, elision on, and deep
 # mode (a crash point before every plain NVMM write as well).

@@ -26,10 +26,11 @@ let list_vocab () =
   Format.printf "structures: %s@." (String.concat " " structure_names);
   Format.printf "prims: %s@." (String.concat " " Mirror_prim.Prim.all_names);
   Format.printf "slots-per-line: %s@."
-    (String.concat " " (List.map string_of_int slots_vocab))
+    (String.concat " " (List.map string_of_int slots_vocab));
+  Format.printf "pickers: %s@." (String.concat " " M.pickers)
 
-let main list_structures structure prim seed seeds budget threads ops range
-    updates elide epoch_len slots_per_line strict_validate deep psan
+let main list_structures structure prim picker seed seeds budget threads ops
+    range updates elide epoch_len slots_per_line strict_validate deep psan
     expect_violation replay crash_in_recovery rec_budget trust_partial
     replay_recovery =
   if list_structures then begin
@@ -49,6 +50,11 @@ let main list_structures structure prim seed seeds budget threads ops range
   if not (List.mem slots_per_line slots_vocab) then begin
     Format.eprintf "unknown slots-per-line %d; valid: %s@." slots_per_line
       (String.concat " " (List.map string_of_int slots_vocab));
+    exit 2
+  end;
+  if not (List.mem picker M.pickers) then begin
+    Format.eprintf "unknown picker %S; valid: %s@." picker
+      (String.concat " " M.pickers);
     exit 2
   end;
   let scenario =
@@ -115,6 +121,20 @@ let main list_structures structure prim seed seeds budget threads ops range
                 Format.printf "  %a@." Mirror_harness.Durable.pp_violation v)
               rcx.M.rcx_violations
       done
+  | None, None when picker = "dpor" ->
+      for s = seed to seed + seeds - 1 do
+        let r = M.check_dpor ~deep ~budget scenario ~seed:s in
+        Format.printf "%s/%s seed=%d: %a@." structure prim s M.pp_dpor_report
+          r;
+        match r.M.dr_counterexample with
+        | None -> ()
+        | Some cx ->
+            found := true;
+            List.iter
+              (fun v ->
+                Format.printf "  %a@." Mirror_harness.Durable.pp_violation v)
+              cx.M.cx_violations
+      done
   | None, None ->
       for s = seed to seed + seeds - 1 do
         let r = M.check ~deep ~budget scenario ~seed:s in
@@ -159,6 +179,18 @@ let prim =
           "Persistence strategy / discipline (see mirror_cli list); \
            \"buffered\" switches validation to buffered durable \
            linearizability against the region's durable cut.")
+
+let picker =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "picker" ] ~docv:"P"
+        ~doc:
+          "Schedule picker: \"random\" records one random schedule per seed; \
+           \"dpor\" explores the seed's whole reduced interleaving space \
+           with sleep-set dynamic partial-order reduction, crash-checking \
+           every complete schedule (see --list-structures for the \
+           vocabulary).  Unknown names exit 2.")
 
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"First seed.")
@@ -300,7 +332,8 @@ let cmd =
          "Enumerate every persist-relevant crash point of a recorded \
           schedule and check durable linearizability at each.")
     Term.(
-      const main $ list_structures $ structure $ prim $ seed $ seeds $ budget
+      const main $ list_structures $ structure $ prim $ picker $ seed $ seeds
+      $ budget
       $ threads $ ops $ range $ updates $ elide $ epoch_len $ slots_per_line
       $ strict_validate $ deep $ psan $ expect_violation $ replay
       $ crash_in_recovery $ rec_budget $ trust_partial $ replay_recovery)

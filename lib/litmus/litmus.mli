@@ -1,0 +1,82 @@
+(** Persistency litmus tests: small declarative programs whose {e complete}
+    outcome sets — live results of crash-free runs, and durable states
+    exposed by a crash at every persist boundary — are pinned exactly.
+
+    Each test runs under sleep-set DPOR
+    ({!Mirror_schedsim.Sched.explore_dpor}) to full exhaustion of the
+    reduced interleaving space; for every complete schedule, every crash
+    point of that schedule's persist-event log is replayed
+    ({!Mirror_mcheck.Mcheck.crash_points}), recovered, and its durable
+    state observed.  The dejafu-style verdict is set equality: an outcome
+    set that is merely a subset of the allowed one fails too — a litmus
+    test that stops reaching an outcome it used to reach is a scheduler or
+    model regression, not a pass. *)
+
+type obs = int list
+(** One observed outcome: a tuple of small ints, compared structurally. *)
+
+type program = {
+  tasks : (unit -> unit) list;  (** the threads, ready to schedule *)
+  observe : unit -> obs;  (** live observation after a crash-free run *)
+  crash_recover : unit -> unit;
+      (** power failure (adversarial policy for determinism) + recovery *)
+  observe_durable : unit -> obs;
+      (** durable observation after [crash_recover]; may read volatile
+          completion witnesses (plain refs survive a region crash), which
+          is how durable linearizability becomes a litmus outcome *)
+}
+
+type t = private {
+  name : string;
+  descr : string;
+  deep : bool;  (** 3-thread sweep tier: nightly, skipped by default *)
+  mk : unit -> program;  (** fresh, deterministic instance per execution *)
+  allowed : obs list;  (** exact expected live outcome set *)
+  forbidden : obs list;  (** live witnesses of a violation *)
+  allowed_durable : obs list;  (** exact expected durable outcome set *)
+  forbidden_durable : obs list;  (** durable witnesses of a violation *)
+  expect_forbidden : bool;
+      (** negative control: some forbidden outcome {e must} be reached *)
+}
+
+val litmus :
+  string ->
+  (unit -> program) ->
+  ?descr:string ->
+  ?deep:bool ->
+  allowed:obs list ->
+  ?forbidden:obs list ->
+  allowed_durable:obs list ->
+  ?forbidden_durable:obs list ->
+  ?expect_forbidden:bool ->
+  unit ->
+  t
+(** [litmus name mk ~allowed ~forbidden ...].  [allowed] /
+    [allowed_durable] are the complete expected sets (for a negative
+    control they include the forbidden outcomes it must reach); [forbidden]
+    / [forbidden_durable] mark the violation witnesses within or outside
+    them.  For a positive test the forbidden sets must be disjoint from the
+    allowed ones (checked here); for [~expect_forbidden:true] they must
+    intersect the observed sets at run time. *)
+
+type result = {
+  r_name : string;
+  r_schedules : int;  (** complete schedules DPOR executed *)
+  r_pruned : int;  (** redundant executions cut by the sleep set *)
+  r_exhausted : bool;  (** reduced interleaving space fully covered *)
+  r_points : int;  (** crash replays across all schedules *)
+  r_live : obs list;  (** observed live outcomes (sorted, deduped) *)
+  r_durable : obs list;  (** observed durable outcomes (sorted, deduped) *)
+  r_forbidden_hits : obs list;  (** forbidden outcomes actually reached *)
+  r_ok : bool;
+  r_detail : string;  (** "" when ok; the verdict's reasons otherwise *)
+}
+
+val run : ?limit:int -> ?max_steps:int -> t -> result
+(** Run one litmus test to exhaustion.  [limit] bounds DPOR executions
+    (default generous; hitting it fails the test via
+    [r_exhausted = false]). *)
+
+val obs_to_string : obs -> string
+val set_to_string : obs list -> string
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,14 @@
+(** The persistency litmus suite.  See {!Litmus} for the runner semantics
+    and [suite.ml] for each test's derivation. *)
+
+val all : Litmus.t list
+(** The default tier: 1–2-thread tests, run to exhaustion by
+    [make litmus-smoke].  Includes the orig-nvmm / nvtraverse negative
+    controls (tests that {e must} reach a forbidden durable outcome). *)
+
+val deep : Litmus.t list
+(** The 3-thread sweep tier (nightly): larger reduced spaces, same exact
+    outcome-set semantics. *)
+
+val names : Litmus.t list -> string list
+val find : string -> Litmus.t option

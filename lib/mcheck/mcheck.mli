@@ -100,6 +100,43 @@ val check : ?deep:bool -> ?budget:int -> scenario -> seed:int -> report
     quiescent end-of-run point is always kept) — the report records both
     counts so truncation is visible. *)
 
+(** {1 DPOR-driven checking}
+
+    {!check} enumerates crash points under {e one} recorded random
+    schedule; [check_dpor] runs the same enumeration under {e every}
+    schedule of the sleep-set DPOR's reduced interleaving space
+    ({!Mirror_schedsim.Sched.explore_dpor}).  An exhausted report upgrades
+    "no violation found under N seeds" to "no violation exists for this
+    scenario" — for scenarios small enough to sweep. *)
+
+val pickers : string list
+(** Schedule pickers the CLI accepts (["random"; "dpor"]); kept in sync
+    with [bin/mcheck.ml] by the test suite. *)
+
+val record_events :
+  scenario -> seed:int -> picks:int array -> Mirror_nvm.Hooks.persist_event array
+(** Persist-event log of one recorded schedule, replayed strictly
+    ({!Mirror_schedsim.Sched.Replay_exhausted} on divergence). *)
+
+type dpor_report = {
+  dr_schedules : int;  (** complete schedules swept *)
+  dr_pruned : int;  (** executions cut by the sleep set *)
+  dr_exhausted : bool;  (** reduced space fully swept, no early stop *)
+  dr_points : int;  (** crash points checked across all schedules *)
+  dr_runs : int;  (** total executions (schedules + crash replays) *)
+  dr_counterexample : counterexample option;
+}
+
+val pp_dpor_report : Format.formatter -> dpor_report -> unit
+
+val check_dpor :
+  ?deep:bool -> ?budget:int -> ?limit:int -> scenario -> seed:int -> dpor_report
+(** Crash-point enumeration composed with systematic schedules: each DPOR
+    schedule's persist events are captured during the exploration run and
+    crash-replayed point by point.  [budget] subsamples points per
+    schedule; [limit] bounds DPOR executions.  Stops at the first
+    violation. *)
+
 (** {1 Crash-in-recovery checking}
 
     Recovery as a first-class crash surface: a power failure can land

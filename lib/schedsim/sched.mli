@@ -39,7 +39,12 @@ val run_recorded :
 (** Random scheduling from a seed, returning the recorded choice sequence
     (one entry per scheduling decision) for {!run_replay}. *)
 
+exception Replay_exhausted of int
+(** A strict replay ran past its recorded prefix (or met an out-of-range
+    choice) at the carried decision index. *)
+
 val run_replay :
+  ?strict:bool ->
   picks:int array ->
   ?max_steps:int ->
   ?stop:(unit -> bool) ->
@@ -47,7 +52,10 @@ val run_replay :
   outcome
 (** Replay a recorded schedule over a fresh task set.  Choices beyond the
     recorded prefix fall back to thread 0, so truncated (shrunk) traces
-    remain complete schedules. *)
+    remain complete schedules.  [~strict:true] turns the fallback and the
+    out-of-range clamp into {!Replay_exhausted} instead — for DPOR and
+    litmus replays, which must reproduce exactly the recorded
+    interleaving or fail loudly. *)
 
 val run_pct :
   ?seed:int ->
@@ -71,3 +79,56 @@ val explore_exhaustive :
   (unit -> (unit -> unit) list * (unit -> unit)) ->
   int * bool
 (** Depth-first over the scheduling tree; returns [(explored, exhausted)]. *)
+
+(** {1 Sleep-set DPOR}
+
+    Dynamic partial-order reduction over the same scheduling tree as
+    {!explore_exhaustive}: each step's footprint (slot × read / write /
+    CAS / flush / fence) is classified from the
+    {!Mirror_nvm.Hooks.access_point} stream, backtrack points are added
+    only where two steps genuinely conflict, and sleep sets cut executions
+    that are provably equivalent to one already explored.  The result is
+    exhaustive coverage of the {e reduced} space: one representative per
+    Mazurkiewicz trace. *)
+
+type fkind = F_read | F_write | F_update | F_flush | F_fence
+
+type atom = {
+  f_kind : fkind;
+  f_slot : int;  (** normalized slot id; [-1] for region-level atoms *)
+  f_rgn : int;  (** normalized region id *)
+}
+
+type footprint = atom list
+
+val footprints_conflict : footprint -> footprint -> bool
+(** True when reordering the two steps can change an observable state —
+    volatile, or exposed by a crash replay: same-slot with a write or
+    update involved, or a same-region {e crash boundary} (flush, fence,
+    DWCAS, epoch-clock update) against any visible step.  Crash-point
+    enumeration observes execution prefixes, so even a read does not
+    commute across a boundary; only flush/flush and fence/fence pairs are
+    exempt (reordering them changes nothing an adversarial crash can
+    preserve). *)
+
+type dpor_report = {
+  dpor_schedules : int;  (** complete schedules executed *)
+  dpor_pruned : int;  (** executions cut by the sleep set (redundant) *)
+  dpor_exhausted : bool;  (** the reduced tree was fully explored *)
+  dpor_max_depth : int;  (** deepest scheduling decision reached *)
+}
+
+val explore_dpor :
+  ?limit:int ->
+  ?max_steps:int ->
+  ?on_schedule:(picks:int array -> bool) ->
+  (unit -> (unit -> unit) list * (unit -> unit)) ->
+  dpor_report
+(** Factory contract as {!explore_exhaustive}, plus: all cross-thread
+    communication must go through the substrate (slots / regions) so it
+    appears in the access stream — shared plain [ref]s are invisible to
+    the footprint classifier.  [limit] bounds executions (complete +
+    pruned); hitting it reports [dpor_exhausted = false].  [on_schedule]
+    fires after each complete schedule with the recorded choice sequence
+    (replayable via {!run_replay}[ ~strict:true] over a fresh instance);
+    returning [false] aborts the exploration early. *)

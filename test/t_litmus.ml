@@ -1,0 +1,118 @@
+(** The persistency litmus suite, run to full DPOR exhaustion as part of
+    the tier-1 tests: every default-tier test's live and durable outcome
+    sets must match exactly, negative controls must reach their forbidden
+    outcome, the DSL must reject wrong expectations, and DPOR must beat
+    plain exhaustive enumeration by at least 5x on a commuting scenario. *)
+
+module L = Mirror_litmus.Litmus
+module Suite = Mirror_litmus.Suite
+module Sched = Mirror_schedsim.Sched
+module Slot = Mirror_nvm.Slot
+
+let check = Support.check
+
+let test_suite_exhaustive () =
+  List.iter
+    (fun (t : L.t) ->
+      let r = L.run t in
+      check r.L.r_ok
+        (Printf.sprintf "%s ok%s" t.L.name
+           (if r.L.r_detail = "" then "" else ": " ^ r.L.r_detail));
+      check r.L.r_exhausted (t.L.name ^ " exhausted the reduced space");
+      check (r.L.r_pruned >= 0 && r.L.r_schedules >= 1)
+        (t.L.name ^ " sane counters"))
+    Suite.all
+
+let test_negative_controls_fire () =
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> check false (name ^ " present in the suite")
+      | Some t ->
+          check t.L.expect_forbidden (name ^ " is a negative control");
+          let r = L.run t in
+          check
+            (r.L.r_forbidden_hits <> [])
+            (name ^ " reaches a forbidden durable outcome");
+          check r.L.r_ok (name ^ " passes because the hit is expected"))
+    [ "lemma54-orig-nvmm"; "lemma55-orig-nvmm"; "lemma55-nvtraverse-loadt" ]
+
+let test_dsl_rejects_wrong_expectations () =
+  (* the same program as lemma54-mirror with a deliberately wrong live set:
+     the run must fail on both the unexpected real outcome and the claimed
+     outcome that never appears *)
+  let base =
+    match Suite.find "lemma54-mirror" with
+    | Some t -> t
+    | None -> Alcotest.fail "lemma54-mirror missing"
+  in
+  let wrong =
+    L.litmus "teeth" base.L.mk
+      ~allowed:[ [ 0; 0 ] ]
+      ~allowed_durable:base.L.allowed_durable ()
+  in
+  let r = L.run wrong in
+  check (not r.L.r_ok) "wrong live expectation rejected";
+  check r.L.r_exhausted "still explored to exhaustion"
+
+let test_dsl_rejects_overlapping_sets () =
+  check
+    (try
+       ignore
+         (L.litmus "bad"
+            (fun () ->
+              Alcotest.fail "program must not run on a construction error")
+            ~allowed:[ [ 1 ] ]
+            ~forbidden:[ [ 1 ] ]
+            ~allowed_durable:[ [ 0 ] ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+    "allowed/forbidden overlap rejected at construction"
+
+let test_reduction_vs_exhaustive () =
+  (* three writers on disjoint slots: every interleaving is equivalent, so
+     DPOR needs exactly one schedule where plain enumeration walks all
+     6!/(2!2!2!) = 90 of them — comfortably past the 5x bar *)
+  let factory () =
+    let r = Support.fresh_region () in
+    let slots = Array.init 3 (fun _ -> Slot.make ~persist:true r 0) in
+    ( List.init 3 (fun i ->
+          fun () ->
+           Slot.store slots.(i) 1;
+           Slot.store slots.(i) 2),
+      fun () -> () )
+  in
+  let explored, exhausted = Sched.explore_exhaustive ~limit:100_000 factory in
+  let rep = Sched.explore_dpor ~limit:100_000 factory in
+  check exhausted "exhaustive enumeration finished";
+  check rep.Sched.dpor_exhausted "dpor finished";
+  check (rep.Sched.dpor_schedules = 1) "one representative schedule";
+  check
+    (explored >= 5 * rep.Sched.dpor_schedules)
+    (Printf.sprintf "at least 5x reduction (%d vs %d)" explored
+       rep.Sched.dpor_schedules)
+
+let test_suite_names_unique () =
+  let names = Suite.names (Suite.all @ Suite.deep) in
+  let sorted = List.sort_uniq compare names in
+  check (List.length sorted = List.length names) "litmus names unique";
+  check (List.length names >= 15) "suite has at least 15 tests"
+
+let suite =
+  [
+    ( "litmus",
+      [
+        Alcotest.test_case "suite exhaustive and exact" `Quick
+          test_suite_exhaustive;
+        Alcotest.test_case "negative controls fire" `Quick
+          test_negative_controls_fire;
+        Alcotest.test_case "dsl rejects wrong expectations" `Quick
+          test_dsl_rejects_wrong_expectations;
+        Alcotest.test_case "dsl rejects overlapping sets" `Quick
+          test_dsl_rejects_overlapping_sets;
+        Alcotest.test_case "5x reduction vs exhaustive" `Quick
+          test_reduction_vs_exhaustive;
+        Alcotest.test_case "suite names unique" `Quick test_suite_names_unique;
+      ] );
+  ]

@@ -267,6 +267,41 @@ let test_skiplist_contention_regression () =
       (Printf.sprintf "seed %d: contended skiplist durable" seed)
   done
 
+(* -- DPOR-driven checking -------------------------------------------------- *)
+
+let test_picker_vocabulary () =
+  (* the CLI's --picker validation and docs quote this list: keep it in
+     sync by pinning it *)
+  check (M.pickers = [ "random"; "dpor" ]) "picker vocabulary pinned"
+
+let test_check_dpor_exhausts_tiny_scenario () =
+  let scenario =
+    manual_scenario ~prim:"mirror" ~observe:None
+      [ [ (1, D.K_insert) ]; [ (2, D.K_insert) ] ]
+  in
+  let r = M.check_dpor ~budget:3 scenario ~seed:1 in
+  check (r.M.dr_counterexample = None) "mirror inserts durably linearizable";
+  check r.M.dr_exhausted "reduced interleaving space exhausted";
+  check (r.M.dr_schedules >= 2) "contending inserts branch the schedule";
+  check (r.M.dr_points > 0) "crash points checked";
+  check (r.M.dr_runs > r.M.dr_schedules) "runs include the crash replays"
+
+let test_check_dpor_negative_control () =
+  let scenario =
+    manual_scenario ~prim:"orig-nvmm" ~observe:None
+      [ [ (1, D.K_insert) ]; [ (2, D.K_insert) ] ]
+  in
+  let r = M.check_dpor scenario ~seed:1 in
+  match r.M.dr_counterexample with
+  | None -> check false "orig-nvmm must produce a counterexample"
+  | Some cx ->
+      check (cx.M.cx_violations <> []) "violations attached";
+      (* the counterexample's picks replay to the same verdict *)
+      let v = M.replay scenario ~seed:cx.M.cx_seed ~picks:cx.M.cx_picks
+          ~crash_at:cx.M.cx_crash_at
+      in
+      check (v <> []) "counterexample replays to a violation"
+
 let suite =
   [
     ( "mcheck",
@@ -288,5 +323,10 @@ let suite =
         Alcotest.test_case "budget subsampling" `Quick test_budget_subsampling;
         Alcotest.test_case "skiplist contention regression" `Quick
           test_skiplist_contention_regression;
+        Alcotest.test_case "picker vocabulary" `Quick test_picker_vocabulary;
+        Alcotest.test_case "check_dpor exhausts tiny scenario" `Quick
+          test_check_dpor_exhausts_tiny_scenario;
+        Alcotest.test_case "check_dpor negative control" `Quick
+          test_check_dpor_negative_control;
       ] );
   ]
