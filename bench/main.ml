@@ -845,6 +845,108 @@ let check_alloc_budgets (pts : F.alloc_point list) budget_file =
     budgets;
   !failures = 0
 
+(* -- scaling panel ---------------------------------------------------------------- *)
+
+(* The 8/16-thread scaling tier: the elision panel's contended drivers at
+   every point of the extended thread axis, Amdahl-priced with the NUMA
+   remote-line knob on.  The speedup column is each structure's modeled
+   throughput over its own 1-thread row; wall-ms is the honest timeshared
+   schedsim wall clock (not a parallelism claim).  See
+   Figures.run_scaling_panel. *)
+let run_scaling () =
+  print_endline
+    "=== scaling panel: contended structures at 1/2/4/8/16 threads \
+     (schedsim, modeled Mops)";
+  (* depth knobs for the nightly deep run; the defaults are what the
+     committed budget floors were measured at *)
+  let env_pos name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some v when v > 0 -> v
+    | _ -> default
+  in
+  let ops_per_task = env_pos "MIRROR_SCALING_OPS" 40 in
+  let seeds = env_pos "MIRROR_SCALING_SEEDS" 4 in
+  let pts = F.run_scaling_panel ~ops_per_task ~seeds () in
+  Printf.printf "%-8s %8s %8s %10s %9s %10s %9s\n" "ds" "threads" "ops" "mops"
+    "speedup" "remote/op" "wall-ms";
+  List.iter
+    (fun p ->
+      Printf.printf "%-8s %8d %8d %10.3f %8.2fx %10.4f %9.2f\n%!" p.F.sp_ds
+        p.F.sp_threads p.F.sp_ops p.F.sp_mops p.F.sp_speedup p.F.sp_remote
+        p.F.sp_wall_ms)
+    pts;
+  print_newline ();
+  pts
+
+(* Scaling budgets: rows of the form scaling,threadsN,ds,min_speedup in
+   bench/budgets.csv gate the scaling panel at N threads: the structure's
+   modeled speedup over its own 1-thread row must clear the floor.  This
+   is the headline claim of the 8/16-thread tier (lock-free structures
+   keep scaling past 4 domains), enforced on every `make bench-smoke`.
+   When running under GitHub Actions ($GITHUB_STEP_SUMMARY set) the
+   per-row budget-vs-measured deltas are also appended to the job summary
+   as a markdown table. *)
+let check_scaling_budgets (pts : F.scaling_point list) budget_file =
+  let budgets =
+    let ic = open_in budget_file in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      | ln -> (
+          match String.split_on_char ',' (String.trim ln) with
+          | [ "scaling"; thr; ds; min_speedup ] -> (
+              match (prefixed "threads" thr, float_of_string_opt min_speedup)
+              with
+              | Some t, Some m -> go ((t, ds, m) :: acc)
+              | _ -> go acc)
+          | _ -> go acc)
+    in
+    go []
+  in
+  let failures = ref 0 in
+  let summary = ref [] in
+  List.iter
+    (fun (threads, ds, min_speedup) ->
+      match
+        List.find_opt
+          (fun p -> p.F.sp_ds = ds && p.F.sp_threads = threads)
+          pts
+      with
+      | None -> ()
+      | Some p ->
+          summary := (ds, threads, p.F.sp_speedup, min_speedup) :: !summary;
+          if p.F.sp_speedup < min_speedup then begin
+            incr failures;
+            Printf.eprintf
+              "BUDGET EXCEEDED scaling %s threads=%d modeled speedup %.2fx < \
+               %.2fx (%.3f Mops)\n"
+              ds threads p.F.sp_speedup min_speedup p.F.sp_mops
+          end
+          else
+            Printf.printf
+              "budget ok       scaling %s threads=%d modeled speedup %.2fx \
+               >= %.2fx (%.3f Mops)\n"
+              ds threads p.F.sp_speedup min_speedup p.F.sp_mops)
+    budgets;
+  (match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+  | Some path when !summary <> [] ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc "### Scaling budgets\n\n";
+      output_string oc
+        "| structure | threads | measured speedup | budget floor | delta \
+         |\n|---|---|---|---|---|\n";
+      List.iter
+        (fun (ds, threads, measured, floor) ->
+          Printf.fprintf oc "| %s | %d | %.2fx | %.2fx | %+.2f |\n" ds threads
+            measured floor (measured -. floor))
+        (List.rev !summary);
+      output_string oc "\n";
+      close_out oc
+  | _ -> ());
+  !failures = 0
+
 (* Recovery-speedup budgets: rows of the form recovery,domainsN,min_speedup,0
    in bench/budgets.csv gate the modeled speedup at N workers against the
    sequential path, at each shape's largest live point. *)
@@ -1131,6 +1233,18 @@ let main full smoke panels csv no_micro no_ablation seconds budget
       close_out oc;
       Printf.printf "alloc rows written to %s\n%!" afile)
     csv;
+  let scaling_pts = run_scaling () in
+  Option.iter
+    (fun file ->
+      let sfile = Filename.remove_extension file ^ "_scaling.csv" in
+      let oc = open_out sfile in
+      output_string oc (F.scaling_csv_header ^ "\n");
+      List.iter
+        (fun p -> output_string oc (F.scaling_point_to_csv p ^ "\n"))
+        scaling_pts;
+      close_out oc;
+      Printf.printf "scaling rows written to %s\n%!" sfile)
+    csv;
   if not no_ablation then begin
     run_ablations ();
     run_extensions ()
@@ -1159,8 +1273,16 @@ let main full smoke panels csv no_micro no_ablation seconds budget
     | None -> true
     | Some file -> check_line_budgets line_pts file
   in
+  let scaling_ok =
+    match budget with
+    | None -> true
+    | Some file -> check_scaling_budgets scaling_pts file
+  in
   print_endline "done.";
-  if not (budgets_ok && recovery_ok && alloc_ok && buffered_ok && line_ok)
+  if
+    not
+      (budgets_ok && recovery_ok && alloc_ok && buffered_ok && line_ok
+     && scaling_ok)
   then exit 1
 
 open Cmdliner

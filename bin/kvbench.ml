@@ -6,8 +6,8 @@
          --benchmarks fillrandom,readrandom,readwrite,deleterandom
 
    Output format follows db_bench: one line per benchmark with mean
-   micros/op, p50/p99 per-op latency and ops/sec, plus the per-op NVMM
-   event counts of this repository. *)
+   micros/op, p50/p99/p999 per-op latency and ops/sec, plus the per-op
+   NVMM event counts of this repository. *)
 
 open Mirror_dstruct
 module W = Mirror_workload.Workload
@@ -66,20 +66,22 @@ let phase ~threads ~per_thread ~(op : Rng.t -> int -> unit) =
   Array.sort compare all;
   (dt, threads * per_thread, all)
 
-let percentile sorted p =
+(* [p] is in per-mille so the tail column can ask for p999 *)
+let permille sorted p =
   let n = Array.length sorted in
-  if n = 0 then 0. else sorted.(min (n - 1) (n * p / 100))
+  if n = 0 then 0. else sorted.(min (n - 1) (n * p / 1000))
 
 let report name dt ops lat =
   let st = Mirror_nvm.Stats.total () in
   let fops = float_of_int (max 1 ops) in
   Printf.printf
-    "%-14s : %10.3f micros/op; p50=%8.3f p99=%8.3f; %10.0f ops/sec;  \
-     nvmR/op=%.2f nvmW/op=%.2f fl/op=%.2f fe/op=%.2f\n%!"
+    "%-14s : %10.3f micros/op; p50=%8.3f p99=%8.3f p999=%8.3f; %10.0f \
+     ops/sec;  nvmR/op=%.2f nvmW/op=%.2f fl/op=%.2f fe/op=%.2f\n%!"
     name
     (dt *. 1e6 /. fops)
-    (percentile lat 50 *. 1e6)
-    (percentile lat 99 *. 1e6)
+    (permille lat 500 *. 1e6)
+    (permille lat 990 *. 1e6)
+    (permille lat 999 *. 1e6)
     (fops /. dt)
     (float_of_int st.Mirror_nvm.Stats.nvm_read /. fops)
     (float_of_int (st.Mirror_nvm.Stats.nvm_write + st.Mirror_nvm.Stats.nvm_cas) /. fops)

@@ -89,7 +89,7 @@ type config = {
 let quick =
   {
     seconds = 0.2;
-    threads_axis = [ 1; 2; 4; 8 ];
+    threads_axis = [ 1; 2; 4; 8; 16 ];
     list_sizes = [ 256; 1024; 4096 ];
     big_sizes = [ 4096; 32768; 131072 ];
     updates_axis = [ 0; 20; 50; 100 ];
@@ -260,11 +260,14 @@ type elision_point = {
 let elision_structures =
   [ "list"; "hash"; "bst"; "skiplist"; "queue"; "stack"; "pqueue"; "counter" ]
 
-let run_elision_panel ?(threads = 4) ?(ops_per_task = 40) ?(seeds = 8) () :
-    elision_point list =
+(* The contended schedsim drivers shared by the elision and scaling
+   panels: the same workload shapes (70%-update small-range sets, mixed
+   queue/stack/pqueue traffic, a bare fetch-add counter), parameterised
+   by fiber count.  Returns the fiber thunks for one run. *)
+let contended_tasks ds ~threads ~ops_per_task region seed =
   let module W = Mirror_workload.Workload in
   let module Rng = Mirror_workload.Rng in
-  let set_driver ds region seed =
+  let set_driver ds =
     let (module S : Sets.SET) =
       Sets.make ds (Mirror_prim.Prim.by_name region "mirror")
     in
@@ -280,33 +283,31 @@ let run_elision_panel ?(threads = 4) ?(ops_per_task = 40) ?(seeds = 8) () :
           | W.Remove k -> ignore (S.remove t k)
         done)
   in
-  let queue_driver region seed =
+  let queue_driver () =
     let (module P : Mirror_prim.Prim.S) =
       Mirror_prim.Prim.by_name region "mirror"
     in
     let module Q = Mirror_dstruct.Queue.Make (P) in
     let q = Q.create () in
-    ignore seed;
     List.init threads (fun i () ->
         for j = 1 to ops_per_task do
           if j land 1 = 0 then Q.enqueue q ((i * 1000) + j)
           else ignore (Q.dequeue q)
         done)
   in
-  let stack_driver region seed =
+  let stack_driver () =
     let (module P : Mirror_prim.Prim.S) =
       Mirror_prim.Prim.by_name region "mirror"
     in
     let module St = Mirror_dstruct.Stack.Make (P) in
     let s = St.create () in
-    ignore seed;
     List.init threads (fun i () ->
         for j = 1 to ops_per_task do
           if (i + j) land 1 = 0 then St.push s ((i * 1000) + j)
           else ignore (St.pop s)
         done)
   in
-  let pqueue_driver region seed =
+  let pqueue_driver () =
     let (module P : Mirror_prim.Prim.S) =
       Mirror_prim.Prim.by_name region "mirror"
     in
@@ -319,32 +320,32 @@ let run_elision_panel ?(threads = 4) ?(ops_per_task = 40) ?(seeds = 8) () :
           else ignore (Pq.delete_min pq)
         done)
   in
-  let counter_driver region seed =
+  let counter_driver () =
     let v = Mirror_core.Patomic.make region 0 in
-    ignore seed;
     List.init threads (fun _ () ->
         for _ = 1 to ops_per_task do
           ignore (Mirror_core.Patomic.fetch_add v 1)
         done)
   in
-  let driver_of = function
-    | "list" -> set_driver Sets.List_ds
-    | "hash" -> set_driver Sets.Hash_ds
-    | "bst" -> set_driver Sets.Bst_ds
-    | "skiplist" -> set_driver Sets.Skiplist_ds
-    | "queue" -> queue_driver
-    | "stack" -> stack_driver
-    | "pqueue" -> pqueue_driver
-    | "counter" -> counter_driver
-    | s -> invalid_arg ("run_elision_panel: unknown structure " ^ s)
-  in
+  match ds with
+  | "list" -> set_driver Sets.List_ds
+  | "hash" -> set_driver Sets.Hash_ds
+  | "bst" -> set_driver Sets.Bst_ds
+  | "skiplist" -> set_driver Sets.Skiplist_ds
+  | "queue" -> queue_driver ()
+  | "stack" -> stack_driver ()
+  | "pqueue" -> pqueue_driver ()
+  | "counter" -> counter_driver ()
+  | s -> invalid_arg ("contended_tasks: unknown structure " ^ s)
+
+let run_elision_panel ?(threads = 4) ?(ops_per_task = 40) ?(seeds = 8) () :
+    elision_point list =
   let run_one name elide =
-    let driver = driver_of name in
     let acc = Mirror_nvm.Stats.zero () in
     let ops = ref 0 in
     for seed = 1 to seeds do
       let region = Mirror_nvm.Region.create ~track_slots:false ~elide () in
-      let tasks = driver region seed in
+      let tasks = contended_tasks name ~threads ~ops_per_task region seed in
       Mirror_nvm.Stats.reset_all ();
       let o = Mirror_schedsim.Sched.run ~seed tasks in
       if not o.Mirror_schedsim.Sched.completed then
@@ -405,7 +406,7 @@ type buffered_point = {
     generality claim. *)
 let buffered_structures = [ "list"; "hash"; "queue"; "stack" ]
 
-let run_buffered_panel ?(threads_points = [ 1; 2; 4 ])
+let run_buffered_panel ?(threads_points = [ 1; 2; 4; 8; 16 ])
     ?(epoch_lens = [ 1; 16; 256 ]) ?(ops_per_task = 40) ?(seeds = 4) () :
     buffered_point list =
   let module W = Mirror_workload.Workload in
@@ -651,8 +652,9 @@ let alloc_policy_name = function
   | Mirror_nvmheap.Heap.Sharded -> "sharded"
   | Mirror_nvmheap.Heap.Global_lock -> "lock"
 
-let run_alloc_panel ?(threads_points = [ 1; 2; 4 ]) ?(ops_per_task = 400)
-    ?(seeds = 4) ?(base_op_ns = 20) () : alloc_point list =
+let run_alloc_panel ?(threads_points = [ 1; 2; 4; 8; 16 ])
+    ?(ops_per_task = 400) ?(seeds = 4) ?(base_op_ns = 20) () : alloc_point list
+    =
   let module H = Mirror_nvmheap.Heap in
   let module Rng = Mirror_workload.Rng in
   let run_one policy threads =
@@ -864,3 +866,110 @@ let line_point_to_csv p =
   Printf.sprintf "%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f" p.lp_ds p.lp_slots
     p.lp_ops p.lp_flushes p.lp_coalesced p.lp_fences p.lp_baseline_flushes
     p.lp_reduction
+
+(* -- scaling panel: modeled speedup at 1..16 logical threads ---------------- *)
+
+(** The scaling tier: the same contended drivers as the elision panel
+    ({!contended_tasks}) run at every point of the extended thread axis,
+    with deterministic Amdahl-priced throughput.  The structures are
+    lock-free, so every charged persist cost is parallel work:
+    [elapsed = (persist_ns + base_op_ns * ops) / threads], where
+    [persist_ns] prices the exact flush/fence/NVMM-access counts of the
+    run through the {!Mirror_nvm.Latency} config.  Contention shows up
+    honestly — a hotter structure inflates its per-op charged counts
+    (CAS retries, helping) and its cross-thread NUMA traffic, both of
+    which eat into the modeled speedup.  [sp_wall_ms] is the measured
+    wall clock of the schedsim runs: every fiber timeshares one OS
+    thread, so it reports simulation cost, not parallel speedup.
+
+    The panel runs with the NUMA remote-line knob on
+    ([numa_remote_ns], default 150 ns — roughly an Optane cross-socket
+    read surcharge), restored afterwards: remote charging moves no
+    control flow, so all counts stay deterministic, and the remote
+    term prices the cross-thread sharing that uniform-memory modeling
+    would hide. *)
+type scaling_point = {
+  sp_ds : string;
+  sp_threads : int;
+  sp_ops : int;  (** completed operations, summed over seeds *)
+  sp_mops : float;  (** Amdahl-priced modeled throughput *)
+  sp_speedup : float;  (** [sp_mops] over the structure's 1-thread row *)
+  sp_remote : float;  (** NUMA remote-line accesses per op *)
+  sp_wall_ms : float;  (** measured (timeshared) wall clock *)
+}
+
+(** The scaling panel's structures: the two set shapes of the paper's
+    figures plus the queue and the bare counter — the two extremes of
+    the contention spectrum (disjoint-ish traffic vs a single hot
+    word). *)
+let scaling_structures = [ "list"; "hash"; "queue"; "counter" ]
+
+let run_scaling_panel ?(structures = scaling_structures)
+    ?(threads_points = [ 1; 2; 4; 8; 16 ]) ?(ops_per_task = 40) ?(seeds = 4)
+    ?(base_op_ns = 40) ?(numa_remote_ns = 150) () : scaling_point list =
+  let saved_remote = Mirror_nvm.Latency.numa_remote_ns () in
+  Mirror_nvm.Latency.set_numa_remote_ns numa_remote_ns;
+  Fun.protect
+    ~finally:(fun () -> Mirror_nvm.Latency.set_numa_remote_ns saved_remote)
+  @@ fun () ->
+  let run_one ds threads =
+    let acc = Mirror_nvm.Stats.zero () in
+    let ops = ref 0 and persist_ns = ref 0. and wall = ref 0. in
+    for seed = 1 to seeds do
+      let region = Mirror_nvm.Region.create ~track_slots:false () in
+      let tasks = contended_tasks ds ~threads ~ops_per_task region seed in
+      Mirror_nvm.Stats.reset_all ();
+      let t0 = Unix.gettimeofday () in
+      let o = Mirror_schedsim.Sched.run ~seed tasks in
+      wall := !wall +. ((Unix.gettimeofday () -. t0) *. 1e3);
+      if not o.Mirror_schedsim.Sched.completed then
+        failwith "run_scaling_panel: schedsim run did not complete";
+      let st = Mirror_nvm.Stats.total () in
+      Mirror_nvm.Stats.add ~into:acc st;
+      ops := !ops + (threads * ops_per_task);
+      let cfg = Mirror_nvm.Latency.get_config () in
+      persist_ns :=
+        !persist_ns
+        +. float_of_int
+             ((st.Mirror_nvm.Stats.flush * cfg.Mirror_nvm.Latency.flush_ns)
+             + (st.Mirror_nvm.Stats.fence * cfg.Mirror_nvm.Latency.fence_ns)
+             + (st.Mirror_nvm.Stats.nvm_write + st.Mirror_nvm.Stats.nvm_cas)
+               * cfg.Mirror_nvm.Latency.nvm_write_ns
+             + (st.Mirror_nvm.Stats.nvm_read * cfg.Mirror_nvm.Latency.nvm_read_ns)
+             + (st.Mirror_nvm.Stats.nvm_remote * numa_remote_ns))
+    done;
+    let fops = float_of_int (max 1 !ops) in
+    (* lock-free structures: all priced work is parallel; the serial term
+       of the Amdahl split is empty *)
+    let elapsed_ns =
+      (!persist_ns +. (float_of_int base_op_ns *. fops))
+      /. float_of_int threads
+    in
+    {
+      sp_ds = ds;
+      sp_threads = threads;
+      sp_ops = !ops;
+      sp_mops = (fops /. elapsed_ns *. 1e3);
+      sp_speedup = 1.0 (* filled in against the 1-thread row below *);
+      sp_remote = float_of_int acc.Mirror_nvm.Stats.nvm_remote /. fops;
+      sp_wall_ms = !wall;
+    }
+  in
+  List.concat_map
+    (fun ds ->
+      (* the 1-thread baseline is always measured (and reused when the
+         axis includes it), so every row carries a well-defined speedup *)
+      let base = run_one ds 1 in
+      List.map
+        (fun threads ->
+          let p = if threads = 1 then base else run_one ds threads in
+          { p with sp_speedup = p.sp_mops /. base.sp_mops })
+        threads_points)
+    structures
+
+let scaling_csv_header =
+  "ds,threads,ops,modeled_mops,speedup,remote_per_op,wall_ms"
+
+let scaling_point_to_csv p =
+  Printf.sprintf "%s,%d,%d,%.3f,%.3f,%.4f,%.3f" p.sp_ds p.sp_threads p.sp_ops
+    p.sp_mops p.sp_speedup p.sp_remote p.sp_wall_ms

@@ -249,8 +249,55 @@ val run_alloc_panel :
   unit ->
   alloc_point list
 (** Two rows (lock, sharded) per thread count, in [threads_points] order
-    (default 1/2/4 logical threads, 400 ops per fiber, 4 seeds,
+    (default 1/2/4/8/16 logical threads, 400 ops per fiber, 4 seeds,
     [base_op_ns] = 20 of volatile bookkeeping per operation). *)
 
 val alloc_csv_header : string
 val alloc_point_to_csv : alloc_point -> string
+
+(** {1 Scaling panel}
+
+    The 8/16-thread scaling tier: the elision panel's contended drivers
+    run at every point of the extended thread axis, with deterministic
+    Amdahl-priced throughput.  The structures are lock-free, so the
+    priced persist cost divides across threads; contention shows up as
+    per-op charged-count inflation (retries, helping) and as NUMA
+    remote-line traffic — the panel runs with the remote-line knob on
+    ([numa_remote_ns], restored afterwards), which adds pricing but no
+    control flow, so all counts stay deterministic.  [sp_wall_ms] is the
+    honest timeshared wall clock of the schedsim runs (every fiber
+    shares one OS thread — simulation cost, not parallel speedup).
+    bench/budgets.csv commits per-structure floors on [sp_speedup] at 8
+    and 16 threads. *)
+
+type scaling_point = {
+  sp_ds : string;
+  sp_threads : int;
+  sp_ops : int;  (** completed operations, summed over seeds *)
+  sp_mops : float;  (** Amdahl-priced modeled throughput *)
+  sp_speedup : float;  (** [sp_mops] over the structure's 1-thread row *)
+  sp_remote : float;  (** NUMA remote-line accesses per op *)
+  sp_wall_ms : float;  (** measured (timeshared) wall clock *)
+}
+
+val scaling_structures : string list
+(** ["list"; "hash"; "queue"; "counter"] — two set shapes plus the two
+    contention extremes (mixed queue traffic, a single hot word). *)
+
+val run_scaling_panel :
+  ?structures:string list ->
+  ?threads_points:int list ->
+  ?ops_per_task:int ->
+  ?seeds:int ->
+  ?base_op_ns:int ->
+  ?numa_remote_ns:int ->
+  unit ->
+  scaling_point list
+(** One row per (structure, thread count), structures outer, in
+    [threads_points] order (default 1/2/4/8/16 logical threads, 40 ops
+    per fiber, 4 seeds, [base_op_ns] = 40, [numa_remote_ns] = 150).  The
+    1-thread baseline is always measured, so [sp_speedup] is defined
+    even when the axis omits 1. *)
+
+val scaling_csv_header : string
+val scaling_point_to_csv : scaling_point -> string

@@ -180,38 +180,58 @@ let with_access f body =
    [compare_exchange] — the discipline only forbids *data* reads of
    persistent memory on the hot path.  [Patomic] brackets its protocol body
    here so the sanitizer can tell the two apart.  Depth is tracked per
-   logical thread; the table is only touched while instrumentation is on. *)
-let protocol_mutex = Mutex.create ()
-let protocol_depth : (int, int) Hashtbl.t = Hashtbl.create 16
+   logical thread in a lock-free published array indexed by {!tid}: each
+   cell has a single writer (its own thread), so enter/exit are a plain
+   atomic increment/decrement with no global mutex — the old global-mutex
+   hashtable serialised every instrumented [compare_exchange] across all
+   threads.  The array grows by copy-and-republish CAS; existing cells are
+   carried by reference, so a stale reader still finds the live counter. *)
+let protocol_depths : int Atomic.t array Atomic.t = Atomic.make [||]
+
+let rec protocol_cell t =
+  let a = Atomic.get protocol_depths in
+  if t < Array.length a then Array.unsafe_get a t
+  else begin
+    let n =
+      Array.init
+        (max 16 (max (t + 1) (2 * Array.length a)))
+        (fun i -> if i < Array.length a then a.(i) else Atomic.make 0)
+    in
+    ignore (Atomic.compare_and_set protocol_depths a n);
+    protocol_cell t
+  end
 
 let protocol_enter () =
   if !access_on then begin
     let t = tid () in
-    Mutex.lock protocol_mutex;
-    let d = Option.value ~default:0 (Hashtbl.find_opt protocol_depth t) in
-    Hashtbl.replace protocol_depth t (d + 1);
-    Mutex.unlock protocol_mutex
+    if t >= 0 then begin
+      let c = protocol_cell t in
+      Atomic.set c (Atomic.get c + 1)
+    end
   end
 
 let protocol_exit () =
   if !access_on then begin
     let t = tid () in
-    Mutex.lock protocol_mutex;
-    (match Hashtbl.find_opt protocol_depth t with
-    | Some d when d > 1 -> Hashtbl.replace protocol_depth t (d - 1)
-    | Some _ -> Hashtbl.remove protocol_depth t
-    | None -> ());
-    Mutex.unlock protocol_mutex
+    if t >= 0 then begin
+      let a = Atomic.get protocol_depths in
+      if t < Array.length a then begin
+        let c = Array.unsafe_get a t in
+        let d = Atomic.get c in
+        if d > 0 then Atomic.set c (d - 1)
+      end
+    end
   end
 
 let in_protocol () =
   if not !access_on then false
   else begin
     let t = tid () in
-    Mutex.lock protocol_mutex;
-    let r = Hashtbl.mem protocol_depth t in
-    Mutex.unlock protocol_mutex;
-    r
+    if t < 0 then false
+    else begin
+      let a = Atomic.get protocol_depths in
+      t < Array.length a && Atomic.get (Array.unsafe_get a t) > 0
+    end
   end
 
 (* -- operation boundaries --------------------------------------------------- *)

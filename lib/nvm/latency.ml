@@ -69,6 +69,18 @@ let config =
 let get_config () = !config
 let set_config c = config := c
 
+(* NUMA model: the surcharge paid by an NVMM access to a cache line whose
+   home domain differs from the accessing logical thread.  Kept outside
+   [config] — it is a topology knob, not a device characteristic, and 0
+   (uniform memory, the historical model) unless an experiment turns it
+   on.  See docs/MODEL.md, "NUMA semantics". *)
+let numa_remote = ref (env_int "MIRROR_NUMA_REMOTE_NS" 0)
+let numa_remote_ns () = !numa_remote
+
+let set_numa_remote_ns ns =
+  if ns < 0 then invalid_arg "Latency.set_numa_remote_ns: ns < 0";
+  numa_remote := ns
+
 let enabled = ref false
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
@@ -124,3 +136,4 @@ let nvm_write () = if !enabled then spin_ns !config.nvm_write_ns
 let flush () = if !enabled then spin_ns !config.flush_ns
 let fence () = if !enabled then spin_ns !config.fence_ns
 let dram_read () = if !enabled then spin_ns !config.dram_read_ns
+let remote () = if !enabled then spin_ns !numa_remote

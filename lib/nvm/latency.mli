@@ -29,6 +29,16 @@ val profile : string -> config
 val get_config : unit -> config
 val set_config : config -> unit
 
+val numa_remote_ns : unit -> int
+(** The NUMA remote-line surcharge: extra nanoseconds charged to an NVMM
+    access whose cache line is homed on a different domain than the
+    accessing logical thread.  0 by default (uniform memory — no remote
+    accounting at all); settable via [MIRROR_NUMA_REMOTE_NS] or
+    {!set_numa_remote_ns}.  See docs/MODEL.md, "NUMA semantics". *)
+
+val set_numa_remote_ns : int -> unit
+(** @raise Invalid_argument on negative values. *)
+
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
 
@@ -40,3 +50,6 @@ val nvm_write : unit -> unit
 val flush : unit -> unit
 val fence : unit -> unit
 val dram_read : unit -> unit
+
+val remote : unit -> unit
+(** Charge the NUMA remote-line surcharge (no-op when disabled or 0). *)

@@ -51,6 +51,7 @@ type deferred = {
     Members are appended at slot-allocation time and never removed. *)
 type line = {
   l_uid : int;
+  l_home : int;  (** home domain: the logical thread that carved the line *)
   mutable l_filled : int;  (** slots carved so far (≤ [slots_per_line]) *)
   mutable l_members : (unit -> unit) list;
   mutable l_resets : (persist_first:bool -> unit) list;
@@ -202,23 +203,54 @@ let register_volatile t invalidate =
 
 (* -- flush / fence ------------------------------------------------------- *)
 
-(* The calling domain's pending set for one region: a private table keyed
-   by region id, so the hot path (flush/fence) touches no shared state.
-   First touch registers the set with the region for crash processing. *)
-let pending_key : (int, (unit -> unit) list ref) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+(* The calling domain's pending set for one region.  The hot path
+   (flush/fence) runs on every instrumented access, so the lookup is a
+   one-entry cache: a DLS record remembering the last region this domain
+   touched, making the common case one DLS load plus an int compare —
+   no hashing.  A domain alternating between regions falls back to the
+   private per-domain table; a genuinely first touch registers the set
+   with the region for crash processing.
+
+   Registration publishes the set *after* it is linked into the region
+   under [t.mutex], and refuses a region that is down: [crash] holds the
+   same mutex while snapshotting [domain_pending], so a first touch
+   racing a crash either lands before the snapshot (and is drained) or
+   observes [down] and raises — it can no longer register an orphan set
+   whose stale thunks a post-recovery fence would apply. *)
+type 'a region_cache = {
+  mutable c_id : int;  (** region id of [c_val]; [-1] when empty *)
+  mutable c_val : 'a;
+  c_tbl : (int, 'a) Hashtbl.t;  (** every region this domain touched *)
+}
+
+let refuse_down t =
+  Mutex.unlock t.mutex;
+  invalid_arg "Mirror_nvm.Region: access to a crashed region before recovery"
+
+let pending_key : (unit -> unit) list ref region_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { c_id = -1; c_val = ref []; c_tbl = Hashtbl.create 8 })
 
 let my_pending t =
-  let tbl = Domain.DLS.get pending_key in
-  match Hashtbl.find_opt tbl t.id with
-  | Some r -> r
-  | None ->
-      let r = ref [] in
-      Hashtbl.add tbl t.id r;
-      Mutex.lock t.mutex;
-      t.domain_pending <- r :: t.domain_pending;
-      Mutex.unlock t.mutex;
-      r
+  let c = Domain.DLS.get pending_key in
+  if c.c_id = t.id then c.c_val
+  else begin
+    let r =
+      match Hashtbl.find_opt c.c_tbl t.id with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Mutex.lock t.mutex;
+          if t.down then refuse_down t;
+          t.domain_pending <- r :: t.domain_pending;
+          Mutex.unlock t.mutex;
+          Hashtbl.add c.c_tbl t.id r;
+          r
+    in
+    c.c_id <- t.id;
+    c.c_val <- r;
+    r
+  end
 
 (** Record a write-back thunk.  The snapshot semantics (what value gets
     persisted) is the caller's business: {!Slot.flush} captures the cache
@@ -230,23 +262,33 @@ let add_pending t thunk =
 (* -- cache lines ---------------------------------------------------------- *)
 
 (* The calling domain's in-flight line set (line uids flushed but not yet
-   fenced by this domain), same private-table idiom as [pending_key].
+   fenced by this domain), same cached-record idiom as [pending_key].
    Per-domain because a fence only orders the issuing CPU's own [clwb]s:
    a line another domain flushed is not in flight for us. *)
-let inflight_key : (int, (int, unit) Hashtbl.t) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+let inflight_key : (int, unit) Hashtbl.t region_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { c_id = -1; c_val = Hashtbl.create 0; c_tbl = Hashtbl.create 8 })
 
 let my_inflight t =
-  let tbl = Domain.DLS.get inflight_key in
-  match Hashtbl.find_opt tbl t.id with
-  | Some h -> h
-  | None ->
-      let h = Hashtbl.create 8 in
-      Hashtbl.add tbl t.id h;
-      Mutex.lock t.mutex;
-      t.domain_inflight <- h :: t.domain_inflight;
-      Mutex.unlock t.mutex;
-      h
+  let c = Domain.DLS.get inflight_key in
+  if c.c_id = t.id then c.c_val
+  else begin
+    let h =
+      match Hashtbl.find_opt c.c_tbl t.id with
+      | Some h -> h
+      | None ->
+          let h = Hashtbl.create 8 in
+          Mutex.lock t.mutex;
+          if t.down then refuse_down t;
+          t.domain_inflight <- h :: t.domain_inflight;
+          Mutex.unlock t.mutex;
+          Hashtbl.add c.c_tbl t.id h;
+          h
+    in
+    c.c_id <- t.id;
+    c.c_val <- h;
+    h
+  end
 
 (** Carve a fresh cache line and claim its first slot.  [None] when the
     region is slot-granular ([slots_per_line = 1]): no lines exist, every
@@ -257,6 +299,7 @@ let place t =
     let l =
       {
         l_uid = Atomic.fetch_and_add next_line_uid 1;
+        l_home = Hooks.tid ();
         l_filled = 1;
         l_members = [];
         l_resets = [];
@@ -284,6 +327,7 @@ let place_near t near =
   | _ -> place t
 
 let line_uid l = l.l_uid
+let line_home l = l.l_home
 
 (** Register a member slot with its line: [persist] write-backs the slot's
     current content (called when the line's pending flush drains or the
@@ -348,24 +392,34 @@ let pending_count t =
 
 (* -- buffered persistence: the epoch clock -------------------------------- *)
 
-(* The calling domain's deferred set, same private-table idiom as
+(* The calling domain's deferred set, same cached-record idiom as
    [pending_key].  Unlike pending write-backs, deferred sets are also
    drained by *other* domains (help-advance), so every append and drain is
    under the region mutex — short sections, never across a yield. *)
-let deferred_key : (int, deferred list ref) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+let deferred_key : deferred list ref region_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { c_id = -1; c_val = ref []; c_tbl = Hashtbl.create 8 })
 
 let my_deferred t =
-  let tbl = Domain.DLS.get deferred_key in
-  match Hashtbl.find_opt tbl t.id with
-  | Some r -> r
-  | None ->
-      let r = ref [] in
-      Hashtbl.add tbl t.id r;
-      Mutex.lock t.mutex;
-      t.domain_deferred <- r :: t.domain_deferred;
-      Mutex.unlock t.mutex;
-      r
+  let c = Domain.DLS.get deferred_key in
+  if c.c_id = t.id then c.c_val
+  else begin
+    let r =
+      match Hashtbl.find_opt c.c_tbl t.id with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Mutex.lock t.mutex;
+          if t.down then refuse_down t;
+          t.domain_deferred <- r :: t.domain_deferred;
+          Mutex.unlock t.mutex;
+          Hashtbl.add c.c_tbl t.id r;
+          r
+    in
+    c.c_id <- t.id;
+    c.c_val <- r;
+    r
+  end
 
 let cur_epoch t = t.cur_epoch
 let durable_epoch t = t.durable_epoch

@@ -95,6 +95,11 @@ val place_near : t -> line option -> line option
 
 val line_uid : line -> int
 
+val line_home : line -> int
+(** The line's home domain: the logical thread ({!Hooks.tid}) that carved
+    it.  Accesses from other threads pay the NUMA remote-line surcharge
+    when {!Latency.numa_remote_ns} is non-zero. *)
+
 val line_add_member :
   t -> line -> persist:(unit -> unit) -> reset:(persist_first:bool -> unit)
   -> unit

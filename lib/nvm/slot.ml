@@ -30,6 +30,11 @@ type 'a t = {
   buffered : bool;
       (** buffered discipline: writes tag the open epoch and persists are
           recorded into the epoch's deferred set instead of flushing *)
+  home : int;
+      (** home domain of the slot's memory: its line's carver, or the
+          allocating logical thread when lineless.  Accesses from other
+          threads pay the NUMA remote-line surcharge when the
+          {!Latency.numa_remote_ns} knob is on. *)
   seq_of : ('a -> int) option;
       (** value-seq extractor for access events: Mirror passes the cell's
           sequence number so slot events and replica events share one
@@ -106,6 +111,10 @@ let make ?(persist = false) ?(charge_copy = false) ?(pair = -1)
       pair;
       line;
       buffered;
+      home =
+        (match line with
+        | Some l -> Region.line_home l
+        | None -> Hooks.tid ());
       seq_of;
       current = Atomic.make e;
       persisted = Atomic.make (if persist then [ e ] else []);
@@ -182,6 +191,17 @@ let check t =
       "Mirror_nvm.Slot: reading a slot whose content was lost in a crash \
        (never persisted): the recovery procedure reached unrecoverable data"
 
+(* NUMA accounting: a charged NVMM access whose memory is homed on another
+   domain pays the remote-line surcharge.  With the knob at its default 0
+   this is a single int load and comparison — no counter moves, so every
+   uniform-memory count stays bit-identical. *)
+let charge_remote t =
+  if Latency.numa_remote_ns () > 0 && Hooks.tid () <> t.home then begin
+    let s = Stats.get () in
+    s.Stats.nvm_remote <- s.Stats.nvm_remote + 1;
+    Latency.remote ()
+  end
+
 (** Load from NVMM (paying the 3x-DRAM read cost). *)
 let load t =
   Hooks.yield ();
@@ -189,6 +209,7 @@ let load t =
   let s = Stats.get () in
   s.Stats.nvm_read <- s.Stats.nvm_read + 1;
   Latency.nvm_read ();
+  charge_remote t;
   let e = Atomic.get t.current in
   if !Hooks.access_on then announce t Hooks.A_load ~seq:(entry_seq t e);
   e.v
@@ -201,6 +222,7 @@ let store t v =
   let s = Stats.get () in
   s.Stats.nvm_write <- s.Stats.nvm_write + 1;
   Latency.nvm_write ();
+  charge_remote t;
   let rec go () =
     let cur = Atomic.get t.current in
     let e = { v; ver = cur.ver + 1; ep = write_epoch t } in
@@ -226,6 +248,7 @@ let cas_pred t ~(expect : 'a -> bool) ~(desired : 'a) : bool * 'a =
   let s = Stats.get () in
   s.Stats.nvm_cas <- s.Stats.nvm_cas + 1;
   Latency.nvm_write ();
+  charge_remote t;
   let rec go () =
     let cur = Atomic.get t.current in
     if expect cur.v then begin
@@ -307,6 +330,7 @@ let flush t =
         let s = Stats.get () in
         s.Stats.flush <- s.Stats.flush + 1;
         Latency.flush ();
+        charge_remote t;
         Region.mark_line_flushed t.region l;
         if !Hooks.access_on then
           announce t Hooks.A_flush ~seq:(entry_seq t (Atomic.get t.current))
@@ -315,6 +339,7 @@ let flush t =
         let s = Stats.get () in
         s.Stats.flush <- s.Stats.flush + 1;
         Latency.flush ();
+        charge_remote t;
         let snapshot = Atomic.get t.current in
         Region.add_pending t.region (fun () -> persist_monotone t snapshot);
         if !Hooks.access_on then
@@ -343,6 +368,7 @@ let flush_snapshot t snapshot =
     let s = Stats.get () in
     s.Stats.flush <- s.Stats.flush + 1;
     Latency.flush ();
+    charge_remote t;
     Region.add_pending t.region (fun () -> persist_monotone t snapshot);
     if !Hooks.access_on then announce t Hooks.A_flush ~seq:(entry_seq t snapshot)
   end;

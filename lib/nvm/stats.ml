@@ -18,6 +18,8 @@ type t = {
   mutable nvm_read : int;
   mutable nvm_write : int;
   mutable nvm_cas : int;
+  mutable nvm_remote : int;
+      (** NVMM accesses to a line whose home domain differs (NUMA model) *)
   mutable flush : int;
   mutable fence : int;
   mutable flush_elided : int;  (** flushes skipped: the line was clean *)
@@ -54,6 +56,7 @@ let zero () =
     nvm_read = 0;
     nvm_write = 0;
     nvm_cas = 0;
+    nvm_remote = 0;
     flush = 0;
     fence = 0;
     flush_elided = 0;
@@ -83,6 +86,7 @@ let add ~into:a b =
   a.nvm_read <- a.nvm_read + b.nvm_read;
   a.nvm_write <- a.nvm_write + b.nvm_write;
   a.nvm_cas <- a.nvm_cas + b.nvm_cas;
+  a.nvm_remote <- a.nvm_remote + b.nvm_remote;
   a.flush <- a.flush + b.flush;
   a.fence <- a.fence + b.fence;
   a.flush_elided <- a.flush_elided + b.flush_elided;
@@ -111,6 +115,7 @@ let clear t =
   t.nvm_read <- 0;
   t.nvm_write <- 0;
   t.nvm_cas <- 0;
+  t.nvm_remote <- 0;
   t.flush <- 0;
   t.fence <- 0;
   t.flush_elided <- 0;
@@ -132,44 +137,112 @@ let clear t =
   t.fence_batched <- 0;
   t.writes_deferred <- 0
 
-(* Registry of every per-domain recorder ever created.  Protected by a mutex;
-   only touched on domain startup and when the harness collects. *)
-let registry : t list ref = ref []
-let registry_mutex = Mutex.create ()
+(* Registry of live per-domain recorders, published as an array indexed by
+   domain id.  Domain ids are small process-unique ints, so the hot path
+   [get] is one atomic array load plus an index — no DLS lookup, no
+   hashing, no lock.  Registration and collection serialise on a mutex;
+   the array is grown by copy-and-republish, and since the records
+   themselves are shared between the old and new array a stale reader
+   still lands on the right record.
 
-let key : t Domain.DLS.key =
-  Domain.DLS.new_key (fun () ->
-      let t = zero () in
-      Mutex.lock registry_mutex;
-      registry := t :: !registry;
-      Mutex.unlock registry_mutex;
-      t)
+    A domain that exits retires its record via [Domain.at_exit]: its
+    counters are folded into the [drained] accumulator (so [total] never
+    forgets a joined worker) and the cleared record is recycled through a
+    free pool.  Long soaks that spawn thousands of short-lived domains
+    therefore hold at most [max concurrent domains] live records instead
+    of accumulating one per domain ever spawned. *)
+let registry_mutex = Mutex.create ()
+let slots : t option array Atomic.t = Atomic.make [||]
+
+(* counters of exited domains, folded in at retirement; cleared by
+   [reset_all] *)
+let drained : t = zero ()
+let free_pool : t list ref = ref []
+
+let register d =
+  Mutex.lock registry_mutex;
+  let a = Atomic.get slots in
+  let a =
+    if d < Array.length a then a
+    else begin
+      let n = Array.make (max (d + 1) ((2 * Array.length a) + 8)) None in
+      Array.blit a 0 n 0 (Array.length a);
+      Atomic.set slots n;
+      n
+    end
+  in
+  let t =
+    match a.(d) with
+    | Some t -> t (* lost a benign race against ourselves *)
+    | None ->
+        let t =
+          match !free_pool with
+          | [] -> zero ()
+          | t :: rest ->
+              free_pool := rest;
+              t
+        in
+        a.(d) <- Some t;
+        Domain.at_exit (fun () ->
+            Mutex.lock registry_mutex;
+            let a = Atomic.get slots in
+            (match a.(d) with
+            | Some r ->
+                add ~into:drained r;
+                clear r;
+                free_pool := r :: !free_pool;
+                a.(d) <- None
+            | None -> ());
+            Mutex.unlock registry_mutex);
+        t
+  in
+  Mutex.unlock registry_mutex;
+  t
 
 (** The calling domain's counter record. *)
-let get () = Domain.DLS.get key
+let get () =
+  let d = (Domain.self () :> int) in
+  let a = Atomic.get slots in
+  if d < Array.length a then
+    match Array.unsafe_get a d with Some t -> t | None -> register d
+  else register d
 
 (** Sum of all domains' counters since the last {!reset_all}. *)
 let total () =
   let acc = zero () in
   Mutex.lock registry_mutex;
-  List.iter (fun t -> add ~into:acc t) !registry;
+  add ~into:acc drained;
+  Array.iter
+    (function Some t -> add ~into:acc t | None -> ())
+    (Atomic.get slots);
   Mutex.unlock registry_mutex;
   acc
 
 let reset_all () =
   Mutex.lock registry_mutex;
-  List.iter clear !registry;
+  clear drained;
+  Array.iter (function Some t -> clear t | None -> ()) (Atomic.get slots);
   Mutex.unlock registry_mutex
+
+let registry_size () =
+  Mutex.lock registry_mutex;
+  let n =
+    Array.fold_left
+      (fun n -> function Some _ -> n + 1 | None -> n)
+      0 (Atomic.get slots)
+  in
+  Mutex.unlock registry_mutex;
+  n
 
 let pp ppf t =
   Format.fprintf ppf
-    "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d) flush=%d fence=%d \
-     elided(fl=%d fe=%d co=%d) help=%d retry=%d alloc=%d reclaim=%d \
-     arena(carve=%d rfree=%d drain=%d) rec(marked=%d swept=%d steals=%d \
-     mark_ns=%d sweep_ns=%d) epoch(adv=%d fence=%d defer=%d)"
+    "dram(r=%d w=%d cas=%d) nvm(r=%d w=%d cas=%d remote=%d) flush=%d \
+     fence=%d elided(fl=%d fe=%d co=%d) help=%d retry=%d alloc=%d \
+     reclaim=%d arena(carve=%d rfree=%d drain=%d) rec(marked=%d swept=%d \
+     steals=%d mark_ns=%d sweep_ns=%d) epoch(adv=%d fence=%d defer=%d)"
     t.dram_read t.dram_write t.dram_cas t.nvm_read t.nvm_write t.nvm_cas
-    t.flush t.fence t.flush_elided t.fence_elided t.flush_coalesced t.help
-    t.cas_retry t.alloc
-    t.reclaim t.alloc_carve t.alloc_remote_free t.alloc_remote_drain
-    t.rec_marked t.rec_swept t.rec_steals t.rec_mark_ns t.rec_sweep_ns
-    t.epoch_advance t.fence_batched t.writes_deferred
+    t.nvm_remote t.flush t.fence t.flush_elided t.fence_elided
+    t.flush_coalesced t.help t.cas_retry t.alloc t.reclaim t.alloc_carve
+    t.alloc_remote_free t.alloc_remote_drain t.rec_marked t.rec_swept
+    t.rec_steals t.rec_mark_ns t.rec_sweep_ns t.epoch_advance t.fence_batched
+    t.writes_deferred

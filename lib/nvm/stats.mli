@@ -14,6 +14,8 @@ type t = {
   mutable nvm_read : int;
   mutable nvm_write : int;
   mutable nvm_cas : int;
+  mutable nvm_remote : int;
+      (** NVMM accesses to a line whose home domain differs (NUMA model) *)
   mutable flush : int;
   mutable fence : int;
   mutable flush_elided : int;
@@ -48,4 +50,11 @@ val total : unit -> t
 (** Sum over all domains since the last {!reset_all}. *)
 
 val reset_all : unit -> unit
+
+val registry_size : unit -> int
+(** Number of live (registered, not yet retired) per-domain records.
+    Records of exited domains are folded into an internal accumulator and
+    recycled, so this is bounded by the maximum number of concurrently
+    live domains — not by how many domains were ever spawned. *)
+
 val pp : Format.formatter -> t -> unit

@@ -353,19 +353,26 @@ let carve t a cls =
   try_nb chunk_blocks.(cls)
 
 (* Grab everything on the remote-free list in one exchange and sort it
-   into the local lists; returns whether anything arrived. *)
+   into the local lists; returns whether anything arrived.  The empty
+   case is checked with a plain load first: an unconditional exchange is
+   an RMW that steals the line from concurrent remote-freers even when
+   there is nothing to drain, which ping-pongs badly past 4 threads.
+   Losing the race between the load and the exchange only delays the
+   batch to the next drain — exactly what "drained lazily" promises. *)
 let drain_remote t a =
-  match Atomic.exchange a.a_remote [] with
-  | [] -> false
-  | batch ->
-      let s = Stats.get () in
-      s.Stats.alloc_remote_drain <- s.Stats.alloc_remote_drain + 1;
-      List.iter
-        (fun payload ->
-          let cls = Slot.peek t.words.(payload - 1) - 1 in
-          a.a_free.(cls) <- payload :: a.a_free.(cls))
-        batch;
-      true
+  if Atomic.get a.a_remote = [] then false
+  else
+    match Atomic.exchange a.a_remote [] with
+    | [] -> false
+    | batch ->
+        let s = Stats.get () in
+        s.Stats.alloc_remote_drain <- s.Stats.alloc_remote_drain + 1;
+        List.iter
+          (fun payload ->
+            let cls = Slot.peek t.words.(payload - 1) - 1 in
+            a.a_free.(cls) <- payload :: a.a_free.(cls))
+          batch;
+        true
 
 (* Adopt a batch of recovery-swept blocks from the shared pool (rare:
    only refills after a recovery; amortised mutex, no persists held). *)

@@ -6,4 +6,5 @@ let () =
    @ T_prim.suite @ T_recovery.suite @ T_buggy.suite @ T_pqueue.suite @ T_txmap.suite @ T_composite.suite @ T_stats.suite @ T_range.suite
    @ T_more_dstruct.suite @ T_harness.suite @ T_elision.suite
    @ T_buffered.suite @ T_mcheck.suite @ T_psan.suite @ T_recovery_par.suite
-   @ T_diff_fuzz.suite @ T_line.suite @ T_slint.suite @ T_litmus.suite)
+   @ T_diff_fuzz.suite @ T_line.suite @ T_slint.suite @ T_litmus.suite
+   @ T_scaling.suite)

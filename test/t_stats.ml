@@ -36,6 +36,22 @@ let test_domains_isolated () =
   check ((Stats.total ()).Stats.nvm_write = 7) "total includes the other domain";
   Stats.reset_all ()
 
+let test_registry_recycled () =
+  Stats.reset_all ();
+  let before = Stats.registry_size () in
+  for _ = 1 to 64 do
+    let d = Domain.spawn (fun () -> (Stats.get ()).Stats.alloc <- 1) in
+    Domain.join d
+  done;
+  (* joined domains retire their record into the drained accumulator and
+     recycle it — the registry must not grow with dead domains *)
+  check
+    (Stats.registry_size () <= before + 1)
+    "registry bounded by live domains";
+  check ((Stats.total ()).Stats.alloc = 64) "drained counters survive";
+  Stats.reset_all ();
+  check ((Stats.total ()).Stats.alloc = 0) "reset clears drained too"
+
 let contains_sub hay needle =
   let n = String.length needle and h = String.length hay in
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
@@ -87,6 +103,7 @@ let suite =
         Alcotest.test_case "add/clear" `Quick test_add_clear;
         Alcotest.test_case "total/reset" `Quick test_total_and_reset;
         Alcotest.test_case "domain isolation" `Quick test_domains_isolated;
+        Alcotest.test_case "registry recycled" `Quick test_registry_recycled;
         Alcotest.test_case "pp" `Quick test_pp;
         Alcotest.test_case "latency config roundtrip" `Quick
           test_latency_config_roundtrip;
